@@ -1,0 +1,177 @@
+//! User-model aggregation functions for bag models (§3.2).
+//!
+//! A user model is assembled from the document vectors of her
+//! representation source with one of:
+//!
+//! * **sum** — `a(w_j) = Σ_i w_ij`;
+//! * **centroid** — mean of *unit-normalized* document vectors;
+//! * **Rocchio** — `α`-weighted centroid of positive documents minus
+//!   `β`-weighted centroid of negative documents (α + β = 1; the paper uses
+//!   α = 0.8, β = 0.2 and applies Rocchio only to representation sources
+//!   that contain both positive and negative examples).
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::SparseVector;
+
+/// Rocchio mixing parameters with `alpha + beta = 1.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocchioParams {
+    /// Weight of the positive centroid.
+    pub alpha: f32,
+    /// Weight of the negative centroid.
+    pub beta: f32,
+}
+
+impl RocchioParams {
+    /// The paper's configuration: α = 0.8, β = 0.2.
+    pub const PAPER: RocchioParams = RocchioParams { alpha: 0.8, beta: 0.2 };
+}
+
+impl Default for RocchioParams {
+    fn default() -> Self {
+        RocchioParams::PAPER
+    }
+}
+
+/// The three aggregation functions of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationFunction {
+    /// Plain sum of document weights.
+    Sum,
+    /// Centroid of unit document vectors.
+    Centroid,
+    /// Rocchio over positive and negative documents.
+    Rocchio(RocchioParams),
+}
+
+impl AggregationFunction {
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregationFunction::Sum => "Sum",
+            AggregationFunction::Centroid => "Cen.",
+            AggregationFunction::Rocchio(_) => "Ro.",
+        }
+    }
+
+    /// Aggregate document vectors into a user model.
+    ///
+    /// `positives` are the documents that capture the user's interests;
+    /// `negatives` are only consumed by Rocchio (the other functions ignore
+    /// them, as the paper's sum/centroid models are built from positive
+    /// content only).
+    pub fn aggregate(
+        self,
+        positives: &[SparseVector],
+        negatives: &[SparseVector],
+    ) -> SparseVector {
+        match self {
+            AggregationFunction::Sum => {
+                let mut acc = SparseVector::new();
+                for v in positives {
+                    acc.add_scaled(v, 1.0);
+                }
+                acc
+            }
+            AggregationFunction::Centroid => centroid(positives),
+            AggregationFunction::Rocchio(p) => {
+                let mut acc = SparseVector::new();
+                let pos = centroid_unnormalized_count(positives);
+                acc.add_scaled(&pos, p.alpha);
+                let neg = centroid_unnormalized_count(negatives);
+                acc.add_scaled(&neg, -p.beta);
+                acc
+            }
+        }
+    }
+}
+
+/// Centroid of unit-normalized vectors: `(1/|D|) Σ v/‖v‖`.
+fn centroid(docs: &[SparseVector]) -> SparseVector {
+    centroid_unnormalized_count(docs)
+}
+
+/// Shared helper: mean of unit document vectors (zero vectors contribute
+/// nothing but still count toward `|D|`, matching the paper's formula).
+fn centroid_unnormalized_count(docs: &[SparseVector]) -> SparseVector {
+    if docs.is_empty() {
+        return SparseVector::new();
+    }
+    let mut acc = SparseVector::new();
+    let inv = 1.0 / docs.len() as f32;
+    for v in docs {
+        let n = v.norm();
+        if n > 0.0 {
+            acc.add_scaled(v, inv / n);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn sum_adds_raw_weights() {
+        let out = AggregationFunction::Sum.aggregate(&[v(&[(0, 1.0)]), v(&[(0, 2.0), (1, 1.0)])], &[]);
+        assert_eq!(out.get(0), 3.0);
+        assert_eq!(out.get(1), 1.0);
+    }
+
+    #[test]
+    fn centroid_normalizes_documents_first() {
+        // One long and one short doc pointing at different dims: with unit
+        // normalization they contribute equally.
+        let out = AggregationFunction::Centroid
+            .aggregate(&[v(&[(0, 10.0)]), v(&[(1, 0.1)])], &[]);
+        assert!((out.get(0) - 0.5).abs() < 1e-6);
+        assert!((out.get(1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rocchio_subtracts_negatives() {
+        let pos = [v(&[(0, 1.0)])];
+        let neg = [v(&[(0, 1.0), (1, 1.0)])];
+        let out =
+            AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &neg);
+        assert!(out.get(0) > 0.0, "positive-heavy dim stays positive");
+        assert!(out.get(1) < 0.0, "negative-only dim goes negative");
+    }
+
+    #[test]
+    fn rocchio_with_no_negatives_is_scaled_centroid() {
+        let pos = [v(&[(0, 3.0)])];
+        let out =
+            AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &[]);
+        assert!((out.get(0) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_models() {
+        for f in [
+            AggregationFunction::Sum,
+            AggregationFunction::Centroid,
+            AggregationFunction::Rocchio(RocchioParams::PAPER),
+        ] {
+            assert!(f.aggregate(&[], &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_params_sum_to_one() {
+        let p = RocchioParams::PAPER;
+        assert!((p.alpha + p.beta - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_documents_count_toward_the_denominator() {
+        let out = AggregationFunction::Centroid.aggregate(&[v(&[(0, 1.0)]), v(&[])], &[]);
+        assert!((out.get(0) - 0.5).abs() < 1e-6);
+    }
+}

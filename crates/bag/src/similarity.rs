@@ -1,0 +1,230 @@
+//! Similarity measures between bag models (§3.2).
+//!
+//! * **CS** — cosine similarity;
+//! * **JS** — set Jaccard over the supports (weights > 0 mean presence);
+//!   the paper applies it only to BF-weighted vectors;
+//! * **GJS** — generalized Jaccard `Σ min(w_a, w_b) / Σ max(w_a, w_b)`;
+//!   applied only to TF/TF-IDF vectors. For BF weights GJS reduces to JS.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::SparseVector;
+
+/// The three bag similarity measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BagSimilarity {
+    /// Cosine similarity.
+    Cosine,
+    /// Set Jaccard over supports.
+    Jaccard,
+    /// Weighted (generalized) Jaccard.
+    GeneralizedJaccard,
+}
+
+impl BagSimilarity {
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BagSimilarity::Cosine => "CS",
+            BagSimilarity::Jaccard => "JS",
+            BagSimilarity::GeneralizedJaccard => "GJS",
+        }
+    }
+
+    /// Similarity between two vectors.
+    pub fn compare(self, a: &SparseVector, b: &SparseVector) -> f64 {
+        match self {
+            BagSimilarity::Cosine => cosine(a, b),
+            BagSimilarity::Jaccard => jaccard(a, b),
+            BagSimilarity::GeneralizedJaccard => generalized_jaccard(a, b),
+        }
+    }
+}
+
+/// Cosine similarity; 0 when either vector is zero.
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (a.dot(b) / (na * nb)) as f64
+}
+
+/// Set Jaccard over the positive supports.
+pub fn jaccard(a: &SparseVector, b: &SparseVector) -> f64 {
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    merge(a, b, |wa, wb| {
+        let pa = wa > 0.0;
+        let pb = wb > 0.0;
+        if pa || pb {
+            union += 1;
+        }
+        if pa && pb {
+            intersection += 1;
+        }
+    });
+    if union == 0 {
+        0.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// Generalized Jaccard `Σ min / Σ max`. Defined for non-negative weights;
+/// negative weights (possible under Rocchio, which the paper never pairs
+/// with GJS) are clamped to zero.
+pub fn generalized_jaccard(a: &SparseVector, b: &SparseVector) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    merge(a, b, |wa, wb| {
+        let wa = wa.max(0.0) as f64;
+        let wb = wb.max(0.0) as f64;
+        num += wa.min(wb);
+        den += wa.max(wb);
+    });
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Iterate over the union of dimensions, feeding `(w_a, w_b)` (0 when
+/// absent) to the visitor.
+fn merge<F: FnMut(f32, f32)>(a: &SparseVector, b: &SparseVector, mut visit: F) {
+    let (ea, eb) = (a.entries(), b.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ea.len() || j < eb.len() {
+        match (ea.get(i), eb.get(j)) {
+            (Some(&(da, wa)), Some(&(db, wb))) => match da.cmp(&db) {
+                std::cmp::Ordering::Less => {
+                    visit(wa, 0.0);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    visit(0.0, wb);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    visit(wa, wb);
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(&(_, wa)), None) => {
+                visit(wa, 0.0);
+                i += 1;
+            }
+            (None, Some(&(_, wb))) => {
+                visit(0.0, wb);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition guards this"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = v(&[(0, 1.0), (1, 2.0)]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine(&v(&[(0, 1.0)]), &v(&[(1, 1.0)])), 0.0);
+        assert_eq!(cosine(&v(&[]), &v(&[(1, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_counts_supports() {
+        let a = v(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = v(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9); // 2 / 4
+    }
+
+    #[test]
+    fn jaccard_ignores_negative_weights() {
+        let a = v(&[(0, 1.0), (1, -1.0)]);
+        let b = v(&[(0, 1.0), (1, 1.0)]);
+        // Dim 1 is "absent" in a (weight ≤ 0), so intersection = {0},
+        // union = {0, 1}.
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gjs_equals_js_for_binary_weights() {
+        let a = v(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = v(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        assert!((generalized_jaccard(&a, &b) - jaccard(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gjs_weighs_magnitudes() {
+        let a = v(&[(0, 2.0)]);
+        let b = v(&[(0, 1.0)]);
+        assert!((generalized_jaccard(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_vectors_yield_zero_everywhere() {
+        let e = v(&[]);
+        for s in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard]
+        {
+            assert_eq!(s.compare(&e, &e), 0.0);
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(BagSimilarity::Cosine.name(), "CS");
+        assert_eq!(BagSimilarity::Jaccard.name(), "JS");
+        assert_eq!(BagSimilarity::GeneralizedJaccard.name(), "GJS");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vec() -> impl Strategy<Value = SparseVector> {
+        proptest::collection::vec((0u32..30, 0.01f32..5.0), 0..20)
+            .prop_map(SparseVector::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn similarities_are_symmetric(a in arb_vec(), b in arb_vec()) {
+            for s in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard] {
+                prop_assert!((s.compare(&a, &b) - s.compare(&b, &a)).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn similarities_are_bounded(a in arb_vec(), b in arb_vec()) {
+            for s in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard] {
+                let x = s.compare(&a, &b);
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(&x), "{x}");
+            }
+        }
+
+        #[test]
+        fn self_similarity_is_maximal(a in arb_vec()) {
+            prop_assume!(!a.is_empty());
+            for s in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard] {
+                prop_assert!((s.compare(&a, &a) - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Weighting schemes and the corpus-fitted vectorizer.
+//!
+//! §3.2 of the paper defines three weighting schemes for bag models:
+//!
+//! * **BF** — boolean frequency: 1 if the n-gram occurs in the document;
+//! * **TF** — term frequency: occurrences normalized by document length;
+//! * **TF-IDF** — TF discounted by `idf(t) = log(|D| / (df(t) + 1))`.
+//!
+//! A [`BagVectorizer`] is fitted once on the training corpus of a
+//! representation source (interning the n-gram dimensions and counting
+//! document frequencies) and then transforms any document — training or
+//! testing — into a [`SparseVector`] over the fitted dimensions; n-grams
+//! unseen at fit time are dropped, exactly as in a trained vector-space
+//! model.
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::vocab::{TermId, Vocabulary};
+
+use crate::vector::SparseVector;
+
+/// The three weighting schemes of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightingScheme {
+    /// Boolean frequency.
+    BF,
+    /// Length-normalized term frequency.
+    TF,
+    /// TF · inverse document frequency.
+    TFIDF,
+}
+
+impl WeightingScheme {
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightingScheme::BF => "BF",
+            WeightingScheme::TF => "TF",
+            WeightingScheme::TFIDF => "TF-IDF",
+        }
+    }
+}
+
+/// A corpus-fitted vectorizer for one bag model instantiation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BagVectorizer {
+    weighting: WeightingScheme,
+    vocab: Vocabulary,
+    /// Document frequency per dimension.
+    df: Vec<u32>,
+    /// Number of fitted documents `|D|`.
+    num_docs: usize,
+}
+
+impl BagVectorizer {
+    /// Fit on the training documents of a representation source. Each
+    /// document is its extracted n-gram list (token or character n-grams;
+    /// the vectorizer is agnostic).
+    pub fn fit<D, S>(weighting: WeightingScheme, docs: D) -> Self
+    where
+        D: IntoIterator,
+        D::Item: AsRef<[S]>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Vocabulary::new();
+        let mut df: Vec<u32> = Vec::new();
+        let mut num_docs = 0usize;
+        let mut seen_in_doc: Vec<usize> = Vec::new(); // doc-stamp per dim
+        for doc in docs {
+            num_docs += 1;
+            for gram in doc.as_ref() {
+                let id = vocab.add(gram.as_ref());
+                if id as usize >= df.len() {
+                    df.push(0);
+                    seen_in_doc.push(0);
+                }
+                if seen_in_doc[id as usize] != num_docs {
+                    seen_in_doc[id as usize] = num_docs;
+                    df[id as usize] += 1;
+                }
+            }
+        }
+        BagVectorizer { weighting, vocab, df, num_docs }
+    }
+
+    /// The fitted weighting scheme.
+    pub fn weighting(&self) -> WeightingScheme {
+        self.weighting
+    }
+
+    /// Number of fitted dimensions (distinct n-grams).
+    pub fn dimensionality(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The inverse document frequency of a fitted dimension.
+    pub fn idf(&self, id: TermId) -> f32 {
+        ((self.num_docs as f64) / (self.df[id as usize] as f64 + 1.0)).ln() as f32
+    }
+
+    /// Transform a document (its n-gram list) into a sparse vector under the
+    /// fitted vocabulary; unseen n-grams are dropped.
+    pub fn transform<S: AsRef<str>>(&self, grams: &[S]) -> SparseVector {
+        let n_d = grams.len();
+        if n_d == 0 {
+            return SparseVector::new();
+        }
+        // Occurrence counts over fitted dimensions.
+        let mut counts: std::collections::HashMap<TermId, u32> = std::collections::HashMap::new();
+        for g in grams {
+            if let Some(id) = self.vocab.get(g.as_ref()) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let pairs: Vec<(TermId, f32)> = counts
+            .into_iter()
+            .map(|(id, f)| {
+                let w = match self.weighting {
+                    WeightingScheme::BF => 1.0,
+                    WeightingScheme::TF => f as f32 / n_d as f32,
+                    WeightingScheme::TFIDF => (f as f32 / n_d as f32) * self.idf(id),
+                };
+                (id, w)
+            })
+            .collect();
+        SparseVector::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<String>> {
+        let d = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        vec![d("a b a c"), d("b c"), d("a a a a")]
+    }
+
+    #[test]
+    fn fit_counts_document_frequencies() {
+        let v = BagVectorizer::fit(WeightingScheme::TF, docs());
+        assert_eq!(v.dimensionality(), 3);
+        assert_eq!(v.num_docs(), 3);
+        let a = v.vocab.get("a").unwrap();
+        let b = v.vocab.get("b").unwrap();
+        let c = v.vocab.get("c").unwrap();
+        assert_eq!(v.df[a as usize], 2);
+        assert_eq!(v.df[b as usize], 2);
+        assert_eq!(v.df[c as usize], 2);
+    }
+
+    #[test]
+    fn bf_weights_are_binary() {
+        let v = BagVectorizer::fit(WeightingScheme::BF, docs());
+        let x = v.transform(&["a", "a", "b"]);
+        let a = v.vocab.get("a").unwrap();
+        let b = v.vocab.get("b").unwrap();
+        assert_eq!(x.get(a), 1.0);
+        assert_eq!(x.get(b), 1.0);
+    }
+
+    #[test]
+    fn tf_weights_are_length_normalized() {
+        let v = BagVectorizer::fit(WeightingScheme::TF, docs());
+        let x = v.transform(&["a", "a", "b", "c"]);
+        let a = v.vocab.get("a").unwrap();
+        assert!((x.get(a) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tfidf_discounts_ubiquitous_grams() {
+        // "x" appears in every document, "y" in one.
+        let d = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let corpus = vec![d("x y"), d("x"), d("x"), d("x")];
+        let v = BagVectorizer::fit(WeightingScheme::TFIDF, corpus);
+        let x = v.transform(&["x", "y"]);
+        let idx = v.vocab.get("x").unwrap();
+        let idy = v.vocab.get("y").unwrap();
+        assert!(
+            x.get(idy) > x.get(idx),
+            "rare gram must outweigh ubiquitous one: {} vs {}",
+            x.get(idy),
+            x.get(idx)
+        );
+        // idf(x) = ln(4/5) < 0: ubiquitous grams may go slightly negative,
+        // as with the standard smoothed-IDF formula the paper uses.
+        assert!(v.idf(idx) < 0.0);
+        assert!(v.idf(idy) > 0.0);
+    }
+
+    #[test]
+    fn unseen_grams_are_dropped() {
+        let v = BagVectorizer::fit(WeightingScheme::TF, docs());
+        let x = v.transform(&["zzz", "qqq"]);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn empty_document_transforms_to_empty_vector() {
+        let v = BagVectorizer::fit(WeightingScheme::TF, docs());
+        assert!(v.transform::<String>(&[]).is_empty());
+    }
+
+    #[test]
+    fn scheme_names_match_the_paper() {
+        assert_eq!(WeightingScheme::BF.name(), "BF");
+        assert_eq!(WeightingScheme::TF.name(), "TF");
+        assert_eq!(WeightingScheme::TFIDF.name(), "TF-IDF");
+    }
+}

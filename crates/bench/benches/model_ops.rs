@@ -1,0 +1,140 @@
+//! Micro-benchmarks of the representation-model building blocks: the
+//! per-operation costs behind the paper's Figure 7 time ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pmr_bag::{BagSimilarity, BagVectorizer, WeightingScheme};
+use pmr_graph::{GraphSimilarity, GraphSpace, NGramGraph};
+use pmr_text::{char_ngrams, token_ngrams, Tokenizer};
+use pmr_topics::{BtmConfig, BtmModel, LdaConfig, LdaModel, TopicCorpus};
+
+/// A deterministic pseudo-tweet corpus for the micro-benches.
+fn sample_texts(n: usize) -> Vec<String> {
+    let words = [
+        "rust", "borrow", "checker", "tweet", "graph", "topic", "model", "ranking", "cosine",
+        "sparse", "vector", "gibbs", "sample", "corpus", "retweet", "follow", "user", "feed",
+    ];
+    (0..n)
+        .map(|i| {
+            (0..12)
+                .map(|j| words[(i * 7 + j * 13) % words.len()])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let tokenizer = Tokenizer::default();
+    let texts = sample_texts(200);
+    c.bench_function("tokenize_200_tweets", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for t in &texts {
+                total += tokenizer.tokenize(t).len();
+            }
+            total
+        })
+    });
+}
+
+fn bench_ngrams(c: &mut Criterion) {
+    let texts = sample_texts(100);
+    let tokens: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| t.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    let mut group = c.benchmark_group("ngram_extraction");
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("char", n), &n, |b, &n| {
+            b.iter(|| texts.iter().map(|t| char_ngrams(t, n).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("token", n), &n, |b, &n| {
+            b.iter(|| tokens.iter().map(|t| token_ngrams(t, n).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bag(c: &mut Criterion) {
+    let texts = sample_texts(150);
+    let docs: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| t.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    c.bench_function("bag_fit_150_docs", |b| {
+        b.iter(|| BagVectorizer::fit(WeightingScheme::TFIDF, docs.iter()))
+    });
+    let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, docs.iter());
+    let va = vectorizer.transform(&docs[0]);
+    let vb = vectorizer.transform(&docs[1]);
+    let mut group = c.benchmark_group("bag_similarity");
+    for sim in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard]
+    {
+        group.bench_function(sim.name(), |b| b.iter(|| sim.compare(&va, &vb)));
+    }
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let texts = sample_texts(150);
+    let docs: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| t.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    c.bench_function("graph_build_and_merge_150_docs", |b| {
+        b.iter(|| {
+            let mut space = GraphSpace::new();
+            let mut user = NGramGraph::new();
+            for d in &docs {
+                let grams = token_ngrams(d, 3);
+                let g = space.graph_from_grams(&grams, 3);
+                user.merge(&g);
+            }
+            user.size()
+        })
+    });
+    let mut space = GraphSpace::new();
+    let mut user = NGramGraph::new();
+    for d in &docs {
+        let grams = token_ngrams(d, 3);
+        user.merge(&space.graph_from_grams(&grams, 3));
+    }
+    let probe = space.graph_from_grams(&token_ngrams(&docs[0], 3), 3);
+    let mut group = c.benchmark_group("graph_similarity");
+    for sim in
+        [GraphSimilarity::Containment, GraphSimilarity::Value, GraphSimilarity::NormalizedValue]
+    {
+        group.bench_function(sim.name(), |b| b.iter(|| sim.compare(&user, &probe)));
+    }
+    group.finish();
+}
+
+fn bench_topics(c: &mut Criterion) {
+    let texts = sample_texts(120);
+    let docs: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| t.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    let corpus = TopicCorpus::from_token_docs(&docs);
+    let mut group = c.benchmark_group("topic_training");
+    group.sample_size(10);
+    group.bench_function("lda_k20_it20", |b| {
+        b.iter(|| LdaModel::train(&LdaConfig::paper(20, 20, 1), &corpus))
+    });
+    group.bench_function("btm_k20_it20", |b| {
+        let mut cfg = BtmConfig::paper(20, 20, 1);
+        cfg.window = 30;
+        b.iter(|| BtmModel::train(&cfg, &corpus))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokenizer, bench_ngrams, bench_bag, bench_graph, bench_topics
+}
+criterion_main!(benches);

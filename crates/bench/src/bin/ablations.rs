@@ -1,0 +1,118 @@
+//! Ablations for the design choices called out in DESIGN.md §7:
+//!
+//! 1. pooling scheme (NP/UP/HP) for a topic model;
+//! 2. n-gram size for all four context-based models;
+//! 3. graph similarity measure;
+//! 4. retweet-signal strength (the simulator's γ) — how corpus-level
+//!    interest alignment drives every content-based model's headroom;
+//! 5. seed sensitivity of the headline comparison.
+
+use pmr_bench::HarnessOptions;
+use pmr_bag::{BagSimilarity, WeightingScheme};
+use pmr_core::config::AggKind;
+use pmr_core::experiment::ExperimentRunner;
+use pmr_core::{ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr_graph::GraphSimilarity;
+use pmr_sim::usertype::UserGroup;
+use pmr_sim::generate_corpus;
+use pmr_topics::PoolingScheme;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let runner_opts = opts.runner_options();
+    let prepared = opts.prepare_corpus();
+    let runner = ExperimentRunner::new(&prepared);
+    let map = |cfg: &ModelConfiguration| {
+        runner.run(cfg, RepresentationSource::R, UserGroup::All, &runner_opts).map
+    };
+
+    println!("=== Ablation 1: pooling scheme (LDA K=50 on R) ===");
+    for pooling in PoolingScheme::ALL {
+        let cfg = ModelConfiguration::Lda {
+            topics: 50,
+            iterations: 1_000,
+            pooling,
+            aggregation: AggKind::Centroid,
+        };
+        println!("  {:<3} MAP {:.3}", pooling.name(), map(&cfg));
+    }
+
+    println!("\n=== Ablation 2: n-gram size (source R) ===");
+    for n in 1..=3usize {
+        let cfg = ModelConfiguration::Graph {
+            char_grams: false,
+            n,
+            similarity: GraphSimilarity::Value,
+        };
+        println!("  TNG n={n} MAP {:.3}", map(&cfg));
+    }
+    for n in 2..=4usize {
+        let cfg = ModelConfiguration::Graph {
+            char_grams: true,
+            n,
+            similarity: GraphSimilarity::Containment,
+        };
+        println!("  CNG n={n} MAP {:.3}", map(&cfg));
+    }
+    for n in 1..=3usize {
+        let cfg = ModelConfiguration::Bag {
+            char_grams: false,
+            n,
+            weighting: WeightingScheme::TFIDF,
+            aggregation: AggKind::Centroid,
+            similarity: BagSimilarity::Cosine,
+        };
+        println!("  TN  n={n} MAP {:.3}", map(&cfg));
+    }
+
+    println!("\n=== Ablation 3: graph similarity (TNG n=3 on R) ===");
+    for sim in
+        [GraphSimilarity::Containment, GraphSimilarity::Value, GraphSimilarity::NormalizedValue]
+    {
+        let cfg = ModelConfiguration::Graph { char_grams: false, n: 3, similarity: sim };
+        println!("  {:<4} MAP {:.3}", sim.name(), map(&cfg));
+    }
+
+    println!("\n=== Ablation 4: retweet-signal strength γ (TN TF-IDF on R) ===");
+    for gamma in [4.0, 8.0, 12.0, 16.0] {
+        let mut sim_cfg = opts.sim_config();
+        sim_cfg.retweet_gamma = gamma;
+        let corpus = generate_corpus(&sim_cfg);
+        let prepared_g = PreparedCorpus::new(corpus, SplitConfig::default());
+        let runner_g = ExperimentRunner::new(&prepared_g);
+        let cfg = ModelConfiguration::Bag {
+            char_grams: false,
+            n: 1,
+            weighting: WeightingScheme::TFIDF,
+            aggregation: AggKind::Centroid,
+            similarity: BagSimilarity::Cosine,
+        };
+        let m = runner_g.run(&cfg, RepresentationSource::R, UserGroup::All, &runner_opts).map;
+        let ran = runner_g.random_map(UserGroup::All, &runner_opts);
+        println!("  γ={gamma:<4} MAP {m:.3} (RAN {ran:.3}, lift {:+.3})", m - ran);
+    }
+
+    println!("\n=== Ablation 5: seed sensitivity (TNG n=3 VS vs TN TF-IDF on R) ===");
+    for seed in [1u64, 2, 3] {
+        let mut o = opts.clone();
+        o.seed = seed;
+        let prepared_s = o.prepare_corpus();
+        let runner_s = ExperimentRunner::new(&prepared_s);
+        let tng = ModelConfiguration::Graph {
+            char_grams: false,
+            n: 3,
+            similarity: GraphSimilarity::Value,
+        };
+        let tn = ModelConfiguration::Bag {
+            char_grams: false,
+            n: 1,
+            weighting: WeightingScheme::TFIDF,
+            aggregation: AggKind::Centroid,
+            similarity: BagSimilarity::Cosine,
+        };
+        let m_tng =
+            runner_s.run(&tng, RepresentationSource::R, UserGroup::All, &runner_opts).map;
+        let m_tn = runner_s.run(&tn, RepresentationSource::R, UserGroup::All, &runner_opts).map;
+        println!("  seed {seed}: TNG {m_tng:.3} vs TN {m_tn:.3} (Δ {:+.3})", m_tng - m_tn);
+    }
+}

@@ -1,0 +1,59 @@
+//! Exports a generated corpus as JSON Lines — one object per tweet plus a
+//! header object with users and follow edges — so the simulated dataset can
+//! be consumed outside this workspace (notebooks, other implementations).
+//!
+//! ```text
+//! cargo run --release -p pmr-bench --bin export_corpus -- --scale smoke --out results
+//! ```
+
+use std::io::{BufWriter, Write};
+
+use pmr_bench::HarnessOptions;
+use pmr_sim::generate_corpus;
+
+fn main() -> std::io::Result<()> {
+    let opts = HarnessOptions::from_env();
+    let corpus = generate_corpus(&opts.sim_config());
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let path = opts
+        .out_dir
+        .join(format!("corpus_{}_{}.jsonl", opts.scale.name(), opts.seed));
+    let mut out = BufWriter::new(std::fs::File::create(&path)?);
+
+    // Header: users and their follow edges.
+    for user in &corpus.users {
+        let followees: Vec<u32> =
+            corpus.graph.followees(user.id).iter().map(|v| v.0).collect();
+        let record = serde_json::json!({
+            "type": "user",
+            "id": user.id.0,
+            "handle": user.handle,
+            "language": user.language.name(),
+            "evaluated": !user.is_background,
+            "followees": followees,
+        });
+        writeln!(out, "{record}")?;
+    }
+    // Body: tweets. Ground-truth topic mixtures are deliberately *not*
+    // exported — downstream consumers should see exactly what a
+    // representation model sees.
+    for tweet in &corpus.tweets {
+        let record = serde_json::json!({
+            "type": "tweet",
+            "id": tweet.id.0,
+            "author": tweet.author.0,
+            "timestamp": tweet.timestamp,
+            "retweet_of": tweet.retweet_of.map(|t| t.0),
+            "text": tweet.text,
+        });
+        writeln!(out, "{record}")?;
+    }
+    out.flush()?;
+    println!(
+        "exported {} users and {} tweets to {}",
+        corpus.users.len(),
+        corpus.len(),
+        path.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figures 3–6**: effectiveness (min/mean/max MAP) of the 9
+//! representation models over the 8 figure sources, for a user group
+//! (`--group all|is|bu|ip`; default prints all four figures), with the
+//! CHR and RAN baselines.
+
+use pmr_bench::{HarnessOptions, SweepCache};
+use pmr_core::{ModelFamily, RepresentationSource};
+use pmr_sim::usertype::UserGroup;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let cache = SweepCache::load_or_run(&opts);
+    let groups: Vec<UserGroup> = match opts.group {
+        Some(g) => vec![g],
+        None => vec![UserGroup::All, UserGroup::IP, UserGroup::BU, UserGroup::IS],
+    };
+    for group in groups {
+        let figure = match group {
+            UserGroup::All => "Figure 3 (All Users)",
+            UserGroup::IP => "Figure 4 (IP)",
+            UserGroup::BU => "Figure 5 (BU)",
+            UserGroup::IS => "Figure 6 (IS)",
+        };
+        let (chr, ran) = cache.baselines(group);
+        println!("\n=== {figure}: MAP per model × source (min / mean / max over configs) ===");
+        println!("Baselines: CHR = {chr:.3}, RAN = {ran:.3} (red line)\n");
+        print!("{:<6}", "");
+        for source in RepresentationSource::FIGURES {
+            print!("{:>19}", source.name());
+        }
+        println!();
+        for family in ModelFamily::EVALUATED {
+            print!("{:<6}", family.name());
+            for source in RepresentationSource::FIGURES {
+                let s = cache.summary(family, source, group);
+                print!("  {:>4.2}/{:>4.2}/{:>4.2}", s.min, s.mean, s.max);
+            }
+            println!();
+        }
+        // Per-model MAP deviation (robustness), averaged over the sources.
+        println!("\nMAP deviation (max − min across configurations; lower = more robust):");
+        for family in ModelFamily::EVALUATED {
+            let devs: Vec<f64> = RepresentationSource::FIGURES
+                .iter()
+                .map(|&s| cache.summary(family, s, group).deviation())
+                .collect();
+            let avg = devs.iter().sum::<f64>() / devs.len() as f64;
+            let max = devs.iter().cloned().fold(0.0f64, f64::max);
+            println!("  {:<5} avg {avg:.3}, worst-source {max:.3}", family.name());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 7**: time efficiency of the nine models —
+//! (i) training time TTime and (ii) testing time ETime, as min/avg/max
+//! across all configurations and sources of the sweep.
+//!
+//! As in the paper, TTime covers building the user models of all users
+//! (including the one-off topic-model training `M(s)`), and ETime covers
+//! scoring and ranking every user's test set.
+
+use pmr_bench::{HarnessOptions, SweepCache};
+use pmr_core::timing::human;
+use pmr_core::ModelFamily;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let cache = SweepCache::load_or_run(&opts);
+
+    println!("Figure 7(i): Training time (TTime) per model — min / avg / max\n");
+    println!("{:<6} {:>12} {:>12} {:>12}", "Model", "min", "avg", "max");
+    for family in ModelFamily::EVALUATED {
+        let s = cache.sweep.train_time_stats(family);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12}",
+            family.name(),
+            human(s.min),
+            human(s.avg),
+            human(s.max)
+        );
+    }
+    println!("\nFigure 7(ii): Testing time (ETime) per model — min / avg / max\n");
+    println!("{:<6} {:>12} {:>12} {:>12}", "Model", "min", "avg", "max");
+    for family in ModelFamily::EVALUATED {
+        let s = cache.sweep.test_time_stats(family);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12}",
+            family.name(),
+            human(s.min),
+            human(s.avg),
+            human(s.max)
+        );
+    }
+    println!(
+        "\nNote: Gibbs/EM iteration counts were scaled by {} relative to the paper's\n\
+         1,000–2,000 sweeps; relative (not absolute) times are the reproduction target.",
+        cache.iteration_scale
+    );
+}

@@ -1,0 +1,32 @@
+//! Runs (and caches) the full configuration × source sweep that feeds
+//! Figures 3–6, Table 6, Figure 7 and Table 7.
+//!
+//! ```text
+//! cargo run --release -p pmr-bench --bin run_sweep -- --scale smoke
+//! ```
+//!
+//! Results are cached under `results/sweep_<scale>_<seed>.json`; the figure
+//! and table binaries load the cache (or trigger the sweep themselves).
+
+use pmr_bench::{HarnessOptions, SweepCache};
+use pmr_sim::usertype::UserGroup;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let cache = SweepCache::load_or_run(&opts);
+    println!(
+        "sweep complete: {} measurements at scale {} (seed {}, iter-scale {})",
+        cache.sweep.results.len(),
+        cache.scale,
+        cache.seed,
+        cache.iteration_scale
+    );
+    for group in UserGroup::ALL {
+        let (chr, ran) = cache.baselines(group);
+        println!(
+            "  {:<9} {} users; baselines CHR={chr:.3} RAN={ran:.3}",
+            group.name(),
+            cache.group_members(group).len()
+        );
+    }
+}

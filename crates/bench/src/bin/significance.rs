@@ -1,0 +1,94 @@
+//! Statistical significance of the paper's headline comparisons, computed
+//! from the cached sweep's per-user APs (paired by user, as in the paper's
+//! p < 0.05 statements):
+//!
+//! * TNG vs TN (the paper: TNG's dominance is significant);
+//! * TN vs CN and TNG vs CNG (token vs character);
+//! * BTM vs LDA (the strongest topic model vs the baseline topic model);
+//! * TN vs BTM (context-based vs context-agnostic).
+//!
+//! For each pair the *best* configuration per family on the chosen source
+//! is compared (mirroring a best-vs-best reading), along with a
+//! mean-over-configurations comparison.
+
+use std::collections::HashMap;
+
+use pmr_bench::{HarnessOptions, SweepCache};
+use pmr_core::significance::{paired_randomization_test, wilcoxon_signed_rank};
+use pmr_core::{ModelFamily, RepresentationSource};
+use pmr_sim::usertype::UserGroup;
+use pmr_sim::UserId;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let cache = SweepCache::load_or_run(&opts);
+    let source = RepresentationSource::R;
+    let members = cache.group_members(UserGroup::All);
+
+    // Per-user AP of a family: averaged over all its configurations on the
+    // source (the robust reading), plus the best-config version.
+    let family_user_aps = |family: ModelFamily, best_only: bool| -> HashMap<UserId, f64> {
+        let mut acc: HashMap<UserId, (f64, usize)> = HashMap::new();
+        let results: Vec<_> = if best_only {
+            cache.best_config(family, source).into_iter().collect()
+        } else {
+            cache
+                .sweep
+                .results
+                .iter()
+                .filter(|r| r.family == family && r.source == source)
+                .collect()
+        };
+        for r in results {
+            for &(u, ap) in &r.per_user_ap {
+                let e = acc.entry(u).or_insert((0.0, 0));
+                e.0 += ap;
+                e.1 += 1;
+            }
+        }
+        acc.into_iter().map(|(u, (sum, n))| (u, sum / n as f64)).collect()
+    };
+
+    let pairs = [
+        (ModelFamily::TNG, ModelFamily::TN),
+        (ModelFamily::TN, ModelFamily::CN),
+        (ModelFamily::TNG, ModelFamily::CNG),
+        (ModelFamily::BTM, ModelFamily::LDA),
+        (ModelFamily::TN, ModelFamily::BTM),
+        (ModelFamily::CNG, ModelFamily::CN),
+    ];
+    println!("Paired significance on source {source} (All Users, n = {})\n", members.len());
+    for best_only in [false, true] {
+        println!(
+            "--- {} ---",
+            if best_only { "best configuration per family" } else { "mean over configurations" }
+        );
+        println!(
+            "{:<12} {:>9} {:>12} {:>12} {:>6}",
+            "pair", "Δ mean AP", "perm p", "wilcoxon p", "sig?"
+        );
+        for (fa, fb) in pairs {
+            let apa = family_user_aps(fa, best_only);
+            let apb = family_user_aps(fb, best_only);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &u in &members {
+                if let (Some(&x), Some(&y)) = (apa.get(&u), apb.get(&u)) {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            let perm = paired_randomization_test(&xs, &ys, 10_000, opts.seed);
+            let wil = wilcoxon_signed_rank(&xs, &ys);
+            println!(
+                "{:<12} {:>+9.3} {:>12.4} {:>12.4} {:>6}",
+                format!("{} vs {}", fa.name(), fb.name()),
+                perm.mean_difference,
+                perm.p_value,
+                wil.p_value,
+                if perm.significant() { "yes" } else { "no" }
+            );
+        }
+        println!();
+    }
+}

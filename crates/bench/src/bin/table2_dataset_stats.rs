@@ -1,0 +1,51 @@
+//! Regenerates **Table 2**: dataset statistics for each user group —
+//! outgoing tweets (TR), retweets (R), incoming tweets (E) and followers'
+//! tweets (F), with min/mean/max per user.
+
+use pmr_bench::HarnessOptions;
+use pmr_sim::stats::Table2;
+use pmr_sim::usertype::{partition_users, UserGroup};
+use pmr_sim::{generate_corpus, GroupStats};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let corpus = generate_corpus(&opts.sim_config());
+    let partition = partition_users(&corpus);
+    let table = Table2::compute(&corpus, &partition);
+
+    println!("Table 2: Statistics for each user group (simulated corpus, seed {}, scale {})", opts.seed, opts.scale.name());
+    println!("{:<24} {:>10} {:>10} {:>10} {:>10}", "", "IS", "BU", "IP", "All Users");
+    let cols: Vec<&GroupStats> = [UserGroup::IS, UserGroup::BU, UserGroup::IP, UserGroup::All]
+        .iter()
+        .map(|&g| table.group(g))
+        .collect();
+    let row = |label: &str, f: &dyn Fn(&GroupStats) -> String| {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            f(cols[0]),
+            f(cols[1]),
+            f(cols[2]),
+            f(cols[3])
+        );
+    };
+    row("Users", &|g| g.users.to_string());
+    row("Outgoing tweets (TR)", &|g| g.outgoing.total.to_string());
+    row("  Minimum per user", &|g| g.outgoing.min.to_string());
+    row("  Mean per user", &|g| format!("{:.0}", g.outgoing.mean));
+    row("  Maximum per user", &|g| g.outgoing.max.to_string());
+    row("Retweets (R)", &|g| g.retweets.total.to_string());
+    row("  Minimum per user", &|g| g.retweets.min.to_string());
+    row("  Mean per user", &|g| format!("{:.0}", g.retweets.mean));
+    row("  Maximum per user", &|g| g.retweets.max.to_string());
+    row("Incoming tweets (E)", &|g| g.incoming.total.to_string());
+    row("  Minimum per user", &|g| g.incoming.min.to_string());
+    row("  Mean per user", &|g| format!("{:.0}", g.incoming.mean));
+    row("  Maximum per user", &|g| g.incoming.max.to_string());
+    row("Followers' tweets (F)", &|g| g.followers_tweets.total.to_string());
+    row("  Minimum per user", &|g| g.followers_tweets.min.to_string());
+    row("  Mean per user", &|g| format!("{:.0}", g.followers_tweets.mean));
+    row("  Maximum per user", &|g| g.followers_tweets.max.to_string());
+    println!();
+    println!("Total tweets in corpus: {}", corpus.len());
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table 7**: the most effective configuration per
+//! representation model and representation source (highest mean MAP across
+//! all user types — we rank by All-Users MAP, which averages the same
+//! per-user APs).
+
+use pmr_bench::{HarnessOptions, SweepCache};
+use pmr_core::{ModelFamily, RepresentationSource};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let cache = SweepCache::load_or_run(&opts);
+
+    println!("Table 7: best configuration per model × representation source\n");
+    for family in ModelFamily::EVALUATED {
+        println!("--- {} ---", family.name());
+        for source in RepresentationSource::ALL {
+            match cache.best_config(family, source) {
+                Some(best) => {
+                    let map = cache.group_map(best, pmr_sim::usertype::UserGroup::All);
+                    println!("  {:<3} {:<40} (MAP {map:.3})", source.name(), best.config.describe());
+                }
+                None => println!("  {:<3} (no measurement)", source.name()),
+            }
+        }
+    }
+}

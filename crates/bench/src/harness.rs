@@ -1,0 +1,477 @@
+//! Shared harness plumbing: CLI options, the sweep cache, table rendering.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use pmr_core::experiment::{ConfigResult, ExperimentRunner, RunnerOptions, SweepResult};
+use pmr_core::eval::MapSummary;
+use pmr_core::recommender::ScoringOptions;
+use pmr_core::split::SplitConfig;
+use pmr_core::{ConfigGrid, ModelFamily, PreparedCorpus, RepresentationSource};
+use pmr_sim::usertype::UserGroup;
+use pmr_sim::{generate_corpus, ScalePreset, SimConfig, UserId};
+
+/// Corpus/experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny corpus, heavily scaled-down sampler iterations (~minutes).
+    Smoke,
+    /// The documented default (EXPERIMENTS.md records this scale).
+    Default,
+    /// Approaches the paper's magnitudes. Hours to days.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name (cache-file key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+
+    /// The simulator preset for this scale.
+    pub fn preset(self) -> ScalePreset {
+        match self {
+            Scale::Smoke => ScalePreset::Smoke,
+            Scale::Default => ScalePreset::Default,
+            Scale::Full => ScalePreset::Full,
+        }
+    }
+
+    /// The default Gibbs/EM iteration multiplier (relative to the paper's
+    /// 1,000–2,000 sweeps) — the corpus is a simulator, not a 32-core Xeon
+    /// running for 5 days, so the harness trades sampler convergence for
+    /// tractability while keeping every configuration distinct.
+    pub fn iteration_scale(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.015,
+            Scale::Default => 0.03,
+            Scale::Full => 1.0,
+        }
+    }
+}
+
+/// Parsed harness options (shared by every experiment binary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarnessOptions {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Gibbs/EM iteration multiplier (defaults per scale).
+    pub iteration_scale: f64,
+    /// Restrict the sweep to these families (empty = all nine).
+    pub families: Vec<ModelFamily>,
+    /// Restrict the sweep to these sources (empty = all thirteen).
+    pub sources: Vec<RepresentationSource>,
+    /// Output/cache directory.
+    pub out_dir: PathBuf,
+    /// User group filter for figure binaries.
+    pub group: Option<UserGroup>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            scale: Scale::Smoke,
+            seed: 42,
+            iteration_scale: Scale::Smoke.iteration_scale(),
+            families: Vec::new(),
+            sources: Vec::new(),
+            out_dir: PathBuf::from("results"),
+            group: None,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parse `--flag value` style arguments; unknown flags abort with usage.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> HarnessOptions {
+        let mut opts = HarnessOptions::default();
+        let mut explicit_iter_scale = false;
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale");
+                    opts.scale =
+                        Scale::parse(&v).unwrap_or_else(|| usage(&format!("bad scale {v}")));
+                }
+                "--seed" => {
+                    opts.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad seed"));
+                }
+                "--iter-scale" => {
+                    opts.iteration_scale =
+                        value("--iter-scale").parse().unwrap_or_else(|_| usage("bad iter-scale"));
+                    explicit_iter_scale = true;
+                }
+                "--families" => {
+                    opts.families = value("--families")
+                        .split(',')
+                        .map(|f| parse_family(f).unwrap_or_else(|| usage(&format!("bad family {f}"))))
+                        .collect();
+                }
+                "--sources" => {
+                    let v = value("--sources");
+                    opts.sources = match v.as_str() {
+                        "all" => RepresentationSource::ALL.to_vec(),
+                        "figures" => RepresentationSource::FIGURES.to_vec(),
+                        list => list
+                            .split(',')
+                            .map(|s| {
+                                parse_source(s)
+                                    .unwrap_or_else(|| usage(&format!("bad source {s}")))
+                            })
+                            .collect(),
+                    };
+                }
+                "--out" => opts.out_dir = PathBuf::from(value("--out")),
+                "--group" => {
+                    let v = value("--group");
+                    opts.group = Some(match v.as_str() {
+                        "all" => UserGroup::All,
+                        "is" => UserGroup::IS,
+                        "bu" => UserGroup::BU,
+                        "ip" => UserGroup::IP,
+                        _ => usage(&format!("bad group {v}")),
+                    });
+                }
+                "--help" | "-h" => usage("help requested"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if !explicit_iter_scale {
+            opts.iteration_scale = opts.scale.iteration_scale();
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> HarnessOptions {
+        HarnessOptions::parse(std::env::args().skip(1))
+    }
+
+    /// The simulator configuration for these options.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::preset(self.scale.preset(), self.seed)
+    }
+
+    /// The scoring/runner options for these options.
+    pub fn runner_options(&self) -> RunnerOptions {
+        RunnerOptions {
+            scoring: ScoringOptions {
+                iteration_scale: self.iteration_scale,
+                infer_iterations: 8,
+                seed: self.seed,
+            },
+            ran_iterations: 1_000,
+        }
+    }
+
+    /// The sweep's cache path for these options.
+    pub fn sweep_path(&self) -> PathBuf {
+        self.out_dir.join(format!("sweep_{}_{}.json", self.scale.name(), self.seed))
+    }
+
+    /// Generate and prepare the corpus.
+    pub fn prepare_corpus(&self) -> PreparedCorpus {
+        let corpus = generate_corpus(&self.sim_config());
+        PreparedCorpus::new(corpus, SplitConfig::default())
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: <bin> [--scale smoke|default|full] [--seed N] [--iter-scale F]\n\
+         \x20      [--families TN,CN,...] [--sources all|figures|R,T,...]\n\
+         \x20      [--out DIR] [--group all|is|bu|ip]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_family(s: &str) -> Option<ModelFamily> {
+    match s.to_ascii_uppercase().as_str() {
+        "TN" => Some(ModelFamily::TN),
+        "CN" => Some(ModelFamily::CN),
+        "TNG" => Some(ModelFamily::TNG),
+        "CNG" => Some(ModelFamily::CNG),
+        "LDA" => Some(ModelFamily::LDA),
+        "LLDA" => Some(ModelFamily::LLDA),
+        "BTM" => Some(ModelFamily::BTM),
+        "HDP" => Some(ModelFamily::HDP),
+        "HLDA" => Some(ModelFamily::HLDA),
+        "PLSA" => Some(ModelFamily::PLSA),
+        _ => None,
+    }
+}
+
+fn parse_source(s: &str) -> Option<RepresentationSource> {
+    RepresentationSource::ALL.into_iter().find(|src| src.name().eq_ignore_ascii_case(s))
+}
+
+/// A persisted sweep: measurements over All Users plus the group membership
+/// and baselines needed to derive every figure and table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCache {
+    /// Scale name the sweep ran at.
+    pub scale: String,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Iteration multiplier used.
+    pub iteration_scale: f64,
+    /// Group name → member user ids (only users with a valid split).
+    pub groups: BTreeMap<String, Vec<u32>>,
+    /// Group name → (CHR MAP, RAN MAP).
+    pub baselines: BTreeMap<String, (f64, f64)>,
+    /// The raw measurements (group field is always All Users).
+    pub sweep: SweepResult,
+}
+
+impl SweepCache {
+    /// Load the cached sweep for `opts`, or run it (and cache it).
+    pub fn load_or_run(opts: &HarnessOptions) -> SweepCache {
+        let path = opts.sweep_path();
+        if let Ok(bytes) = std::fs::read(&path) {
+            match serde_json::from_slice::<SweepCache>(&bytes) {
+                Ok(cache) => {
+                    eprintln!("loaded cached sweep from {}", path.display());
+                    return cache;
+                }
+                Err(e) => eprintln!("ignoring unreadable cache {}: {e}", path.display()),
+            }
+        }
+        let cache = Self::run(opts);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, serde_json::to_vec(&cache).expect("serializable")) {
+            Ok(()) => eprintln!("cached sweep at {}", path.display()),
+            Err(e) => eprintln!("could not cache sweep: {e}"),
+        }
+        cache
+    }
+
+    /// Run the sweep for `opts` without touching the cache.
+    pub fn run(opts: &HarnessOptions) -> SweepCache {
+        let prepared = opts.prepare_corpus();
+        let runner = ExperimentRunner::new(&prepared);
+        let runner_opts = opts.runner_options();
+        let grid = ConfigGrid::paper();
+        let sources: Vec<RepresentationSource> = if opts.sources.is_empty() {
+            RepresentationSource::ALL.to_vec()
+        } else {
+            opts.sources.clone()
+        };
+        let configs: Vec<_> = grid
+            .configs()
+            .iter()
+            .filter(|c| opts.families.is_empty() || opts.families.contains(&c.family()))
+            .collect();
+        let total: usize = sources
+            .iter()
+            .map(|&s| configs.iter().filter(|c| c.valid_for_source(s)).count())
+            .sum();
+        eprintln!(
+            "sweep: {} configs × {} sources = {total} runs at scale {} (iter-scale {})",
+            configs.len(),
+            sources.len(),
+            opts.scale.name(),
+            opts.iteration_scale
+        );
+        let mut sweep = SweepResult::default();
+        let mut done = 0usize;
+        let t0 = std::time::Instant::now();
+        for &source in &sources {
+            for config in &configs {
+                if !config.valid_for_source(source) {
+                    continue;
+                }
+                sweep.results.push(runner.run(config, source, UserGroup::All, &runner_opts));
+                done += 1;
+                if done.is_multiple_of(25) || done == total {
+                    eprint!(
+                        "\r  {done}/{total} runs ({:.0}s elapsed)   ",
+                        t0.elapsed().as_secs_f64()
+                    );
+                    let _ = std::io::stderr().flush();
+                }
+            }
+        }
+        eprintln!();
+        let mut groups = BTreeMap::new();
+        let mut baselines = BTreeMap::new();
+        for group in UserGroup::ALL {
+            let users: Vec<u32> =
+                runner.group_users(group).into_iter().map(|u| u.0).collect();
+            let chr = runner.chronological_map(group);
+            let ran = runner.random_map(group, &runner_opts);
+            groups.insert(group.name().to_owned(), users);
+            baselines.insert(group.name().to_owned(), (chr, ran));
+        }
+        SweepCache {
+            scale: opts.scale.name().to_owned(),
+            seed: opts.seed,
+            iteration_scale: opts.iteration_scale,
+            groups,
+            baselines,
+            sweep,
+        }
+    }
+
+    /// Members of a group.
+    pub fn group_members(&self, group: UserGroup) -> Vec<UserId> {
+        self.groups
+            .get(group.name())
+            .map(|ids| ids.iter().map(|&i| UserId(i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// MAP of one measurement restricted to a group.
+    pub fn group_map(&self, result: &ConfigResult, group: UserGroup) -> f64 {
+        let members = self.group_members(group);
+        let aps: Vec<f64> = result
+            .per_user_ap
+            .iter()
+            .filter(|(u, _)| members.contains(u))
+            .map(|&(_, ap)| ap)
+            .collect();
+        if aps.is_empty() {
+            0.0
+        } else {
+            aps.iter().sum::<f64>() / aps.len() as f64
+        }
+    }
+
+    /// Min/mean/max MAP of `(family, source)` over its configurations for a
+    /// group — one bar triple of Figures 3–6.
+    pub fn summary(
+        &self,
+        family: ModelFamily,
+        source: RepresentationSource,
+        group: UserGroup,
+    ) -> MapSummary {
+        let maps: Vec<f64> = self
+            .sweep
+            .results
+            .iter()
+            .filter(|r| r.family == family && r.source == source)
+            .map(|r| self.group_map(r, group))
+            .collect();
+        MapSummary::from_maps(&maps)
+    }
+
+    /// Min/mean/max MAP of a source over every configuration — one Table 6
+    /// cell triple.
+    pub fn source_summary(&self, source: RepresentationSource, group: UserGroup) -> MapSummary {
+        let maps: Vec<f64> = self
+            .sweep
+            .results
+            .iter()
+            .filter(|r| r.source == source)
+            .map(|r| self.group_map(r, group))
+            .collect();
+        MapSummary::from_maps(&maps)
+    }
+
+    /// The best configuration of `(family, source)` averaged over all user
+    /// types — one Table 7 cell.
+    pub fn best_config(
+        &self,
+        family: ModelFamily,
+        source: RepresentationSource,
+    ) -> Option<&ConfigResult> {
+        self.sweep
+            .results
+            .iter()
+            .filter(|r| r.family == family && r.source == source)
+            .max_by(|a, b| {
+                let ma = self.group_map(a, UserGroup::All);
+                let mb = self.group_map(b, UserGroup::All);
+                ma.partial_cmp(&mb).expect("MAPs are finite")
+            })
+    }
+
+    /// The (CHR, RAN) baselines of a group.
+    pub fn baselines(&self, group: UserGroup) -> (f64, f64) {
+        self.baselines.get(group.name()).copied().unwrap_or((0.0, 0.0))
+    }
+}
+
+/// Right-pad to a column width.
+pub fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let opts = HarnessOptions::parse(
+            ["--scale", "default", "--seed", "7", "--sources", "R,T", "--families", "TN"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.scale, Scale::Default);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.sources, vec![RepresentationSource::R, RepresentationSource::T]);
+        assert_eq!(opts.families, vec![ModelFamily::TN]);
+        assert_eq!(opts.iteration_scale, Scale::Default.iteration_scale());
+    }
+
+    #[test]
+    fn iter_scale_override_sticks() {
+        let opts = HarnessOptions::parse(
+            ["--iter-scale", "0.5", "--scale", "smoke"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(opts.iteration_scale, 0.5);
+    }
+
+    #[test]
+    fn source_keywords_expand() {
+        let opts =
+            HarnessOptions::parse(["--sources", "figures"].iter().map(|s| s.to_string()));
+        assert_eq!(opts.sources.len(), 8);
+        let opts = HarnessOptions::parse(["--sources", "all"].iter().map(|s| s.to_string()));
+        assert_eq!(opts.sources.len(), 13);
+    }
+
+    #[test]
+    fn tiny_sweep_roundtrips_through_cache_format() {
+        let opts = HarnessOptions {
+            families: vec![ModelFamily::TNG],
+            sources: vec![RepresentationSource::R],
+            iteration_scale: 0.01,
+            ..HarnessOptions::default()
+        };
+        let cache = SweepCache::run(&opts);
+        assert_eq!(cache.sweep.results.len(), 9, "TNG spans 3 n-sizes × 3 similarities");
+        let summary =
+            cache.summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::All);
+        assert!(summary.max > 0.0);
+        let json = serde_json::to_string(&cache).unwrap();
+        let back: SweepCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sweep.results.len(), 9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Evaluation measures (§4, "Performance Measures").
+//!
+//! Effectiveness is measured with Average Precision per user and Mean
+//! Average Precision per user group; robustness with the *MAP deviation* —
+//! the spread between the best and worst configuration of a model.
+
+use serde::{Deserialize, Serialize};
+
+/// A scored test document with its relevance label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredDoc {
+    /// Ranking score (higher = recommended earlier).
+    pub score: f64,
+    /// Whether the document was retweeted (relevant).
+    pub relevant: bool,
+    /// A stable tie-breaking key. MUST be statistically independent of the
+    /// relevance label — derive it from the document id with
+    /// [`tie_break_key`], never use the raw id (original tweets receive
+    /// systematically lower ids than retweets in the simulator, so raw-id
+    /// tie-breaking leaks the label into the ranking).
+    pub tie_break: u32,
+}
+
+/// Deterministic label-independent tie-break key for a document id: a
+/// bijective integer hash (SplitMix-style finalizer), so equal scores rank
+/// in an order uncorrelated with how ids were assigned.
+pub fn tie_break_key(id: u32) -> u32 {
+    let mut x = id.wrapping_add(0x9E37_79B9);
+    x = (x ^ (x >> 16)).wrapping_mul(0x85EB_CA6B);
+    x = (x ^ (x >> 13)).wrapping_mul(0xC2B2_AE35);
+    x ^ (x >> 16)
+}
+
+/// Average Precision of a ranked test set:
+/// `AP = 1/|R| · Σ_n P@n · RT(n)` — the mean of the precision values at
+/// every relevant position. Documents are ranked by descending score with
+/// deterministic id tie-breaking.
+///
+/// Returns 0 when the test set contains no relevant document.
+pub fn average_precision(docs: &[ScoredDoc]) -> f64 {
+    let total_relevant = docs.iter().filter(|d| d.relevant).count();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut ranked: Vec<&ScoredDoc> = docs.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores must be finite")
+            .then(a.tie_break.cmp(&b.tie_break))
+    });
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (i, d) in ranked.iter().enumerate() {
+        if d.relevant {
+            hits += 1;
+            ap += hits as f64 / (i + 1) as f64;
+        }
+    }
+    ap / total_relevant as f64
+}
+
+/// Mean Average Precision over a user group: the mean of per-user APs.
+pub fn mean_average_precision(aps: &[f64]) -> f64 {
+    if aps.is_empty() {
+        return 0.0;
+    }
+    aps.iter().sum::<f64>() / aps.len() as f64
+}
+
+/// MAP deviation: `max − min` MAP across a model's configurations — the
+/// paper's robustness measure (lower is more robust).
+pub fn map_deviation(maps: &[f64]) -> f64 {
+    match (
+        maps.iter().cloned().reduce(f64::min),
+        maps.iter().cloned().reduce(f64::max),
+    ) {
+        (Some(lo), Some(hi)) => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Min / mean / max MAP over a set of configurations — the aggregate the
+/// paper reports in Figures 3–6 and Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapSummary {
+    /// Lowest MAP across configurations.
+    pub min: f64,
+    /// Mean MAP across configurations.
+    pub mean: f64,
+    /// Highest MAP across configurations.
+    pub max: f64,
+}
+
+impl MapSummary {
+    /// Summarize a set of per-configuration MAPs.
+    pub fn from_maps(maps: &[f64]) -> MapSummary {
+        if maps.is_empty() {
+            return MapSummary { min: 0.0, mean: 0.0, max: 0.0 };
+        }
+        MapSummary {
+            min: maps.iter().cloned().fold(f64::INFINITY, f64::min),
+            mean: maps.iter().sum::<f64>() / maps.len() as f64,
+            max: maps.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The robustness measure `max − min`.
+    pub fn deviation(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(spec: &[(f64, bool)]) -> Vec<ScoredDoc> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(score, relevant))| ScoredDoc { score, relevant, tie_break: i as u32 })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let d = docs(&[(0.9, true), (0.8, true), (0.2, false), (0.1, false)]);
+        assert!((average_precision(&d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_ap() {
+        let d = docs(&[(0.9, false), (0.8, false), (0.2, true), (0.1, true)]);
+        // Relevant at ranks 3 and 4: AP = (1/3 + 2/4) / 2.
+        assert!((average_precision(&d) - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Relevant at ranks 1, 3, 5 of five docs.
+        let d = docs(&[(5.0, true), (4.0, false), (3.0, true), (2.0, false), (1.0, true)]);
+        let expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&d) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_relevant_docs_yield_zero() {
+        let d = docs(&[(0.5, false)]);
+        assert_eq!(average_precision(&d), 0.0);
+        assert_eq!(average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        let a = vec![
+            ScoredDoc { score: 0.5, relevant: true, tie_break: 0 },
+            ScoredDoc { score: 0.5, relevant: false, tie_break: 1 },
+        ];
+        let b = vec![
+            ScoredDoc { score: 0.5, relevant: false, tie_break: 0 },
+            ScoredDoc { score: 0.5, relevant: true, tie_break: 1 },
+        ];
+        assert!((average_precision(&a) - 1.0).abs() < 1e-9);
+        assert!((average_precision(&b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_tied_scores_reward_low_ids() {
+        // With every score equal the ranking is the id order; AP depends
+        // only on where the relevant ids sit — a property the RAN baseline
+        // relies on NOT holding for random scores.
+        let d = docs(&[(0.0, false), (0.0, true)]);
+        assert!((average_precision(&d) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_is_the_mean() {
+        assert!((mean_average_precision(&[0.2, 0.4, 0.6]) - 0.4).abs() < 1e-9);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn deviation_is_spread() {
+        assert!((map_deviation(&[0.2, 0.5, 0.3]) - 0.3).abs() < 1e-9);
+        assert_eq!(map_deviation(&[]), 0.0);
+        assert_eq!(map_deviation(&[0.4]), 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = MapSummary::from_maps(&[0.2, 0.4, 0.9]);
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.max, 0.9);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+        assert!((s.deviation() - 0.7).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// AP is always within [0, 1].
+        #[test]
+        fn ap_is_bounded(spec in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 0..40)) {
+            let d: Vec<ScoredDoc> = spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, r))| ScoredDoc { score: s, relevant: r, tie_break: i as u32 })
+                .collect();
+            let ap = average_precision(&d);
+            prop_assert!((0.0..=1.0).contains(&ap));
+        }
+
+        /// Boosting every relevant score to the top yields AP = 1.
+        #[test]
+        fn oracle_scores_achieve_one(rels in proptest::collection::vec(proptest::bool::ANY, 1..30)) {
+            prop_assume!(rels.iter().any(|&r| r));
+            let d: Vec<ScoredDoc> = rels
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| ScoredDoc { score: if r { 1.0 } else { 0.0 }, relevant: r, tie_break: i as u32 })
+                .collect();
+            prop_assert!((average_precision(&d) - 1.0).abs() < 1e-9);
+        }
+    }
+}

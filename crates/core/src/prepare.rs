@@ -1,0 +1,159 @@
+//! Corpus preprocessing (§4).
+//!
+//! All tweets are lower-cased and tokenized on white space and punctuation,
+//! keeping URLs, hashtags, mentions and emoticons together and squeezing
+//! repeated letters. The 100 most frequent tokens across all *training*
+//! tweets are removed as corpus-level stop words. No language-specific
+//! processing is applied (the corpus is multilingual — challenge C3).
+//!
+//! [`PreparedCorpus`] computes all of this once and serves every
+//! representation model: token-based models read the stop-filtered
+//! [`PreparedCorpus::content`], character-based models read the raw
+//! lower-cased text, and the Labeled-LDA labeler reads the full token
+//! stream with lexical classes.
+
+use pmr_sim::{Corpus, TweetId};
+use pmr_text::token::{Token, TokenKind};
+use pmr_text::vocab::Vocabulary;
+use pmr_text::{StopWords, Tokenizer};
+
+use crate::split::{SplitConfig, TrainTestSplit};
+
+/// A corpus with its split and all per-tweet preprocessing artifacts.
+pub struct PreparedCorpus {
+    /// The underlying simulated corpus.
+    pub corpus: Corpus,
+    /// The train/test split.
+    pub split: TrainTestSplit,
+    /// Full token stream per tweet (parallel to `corpus.tweets`).
+    tokens: Vec<Vec<Token>>,
+    /// Stop-filtered token texts per tweet.
+    content: Vec<Vec<String>>,
+    /// Hashtag tokens per tweet.
+    hashtags: Vec<Vec<String>>,
+    /// The fitted stop-word filter.
+    stopwords: StopWords,
+}
+
+impl PreparedCorpus {
+    /// Tokenize everything, fit the stop-word filter on the training
+    /// tweets, and precompute the filtered content.
+    pub fn new(corpus: Corpus, split_config: SplitConfig) -> Self {
+        let split = TrainTestSplit::compute(&corpus, split_config);
+        let tokenizer = Tokenizer::default();
+        let tokens: Vec<Vec<Token>> =
+            corpus.tweets.iter().map(|t| tokenizer.tokenize(&t.text)).collect();
+        // "Training tweets" = everything that is not a test document of any
+        // user.
+        let mut is_test = vec![false; corpus.tweets.len()];
+        for u in split.users() {
+            for id in split.user(u).expect("users() yields split users").test_docs() {
+                is_test[id.index()] = true;
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        for (i, toks) in tokens.iter().enumerate() {
+            if !is_test[i] {
+                for t in toks {
+                    vocab.add(&t.text);
+                }
+            }
+        }
+        let stopwords = StopWords::from_vocabulary(&vocab, StopWords::PAPER_K);
+        let content: Vec<Vec<String>> = tokens
+            .iter()
+            .map(|toks| {
+                toks.iter()
+                    .filter(|t| !stopwords.contains(&t.text))
+                    .map(|t| t.text.clone())
+                    .collect()
+            })
+            .collect();
+        let hashtags: Vec<Vec<String>> = tokens
+            .iter()
+            .map(|toks| {
+                toks.iter()
+                    .filter(|t| t.kind == TokenKind::Hashtag)
+                    .map(|t| t.text.clone())
+                    .collect()
+            })
+            .collect();
+        PreparedCorpus { corpus, split, tokens, content, hashtags, stopwords }
+    }
+
+    /// Stop-filtered token texts of a tweet — the input of all token-based
+    /// models.
+    pub fn content(&self, id: TweetId) -> &[String] {
+        &self.content[id.index()]
+    }
+
+    /// Raw (original-case) text of a tweet — the input of character-based
+    /// models, which lower-case internally via the tokenizer's convention.
+    pub fn raw_text(&self, id: TweetId) -> &str {
+        &self.corpus.tweet(id).text
+    }
+
+    /// Full token stream of a tweet (for the Labeled-LDA labeler).
+    pub fn tokens(&self, id: TweetId) -> &[Token] {
+        &self.tokens[id.index()]
+    }
+
+    /// Hashtags of a tweet (for hashtag pooling).
+    pub fn hashtags(&self, id: TweetId) -> &[String] {
+        &self.hashtags[id.index()]
+    }
+
+    /// The fitted stop-word filter.
+    pub fn stopwords(&self) -> &StopWords {
+        &self.stopwords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_sim::{generate_corpus, ScalePreset, SimConfig};
+
+    fn prepared() -> PreparedCorpus {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
+        PreparedCorpus::new(corpus, SplitConfig::default())
+    }
+
+    #[test]
+    fn stopwords_are_fitted_to_one_hundred() {
+        let p = prepared();
+        assert_eq!(p.stopwords().len(), 100);
+    }
+
+    #[test]
+    fn content_is_stop_filtered_and_lowercased() {
+        let p = prepared();
+        for id in (0..p.corpus.len() as u32).map(pmr_sim::TweetId).take(200) {
+            for tok in p.content(id) {
+                assert!(!p.stopwords().contains(tok), "stop word {tok} survived");
+                assert_eq!(tok, &tok.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn hashtags_carry_the_marker() {
+        let p = prepared();
+        let mut seen = 0;
+        for id in (0..p.corpus.len() as u32).map(pmr_sim::TweetId) {
+            for h in p.hashtags(id) {
+                assert!(h.starts_with('#'));
+                seen += 1;
+            }
+        }
+        assert!(seen > 100, "the simulator injects hashtags: saw {seen}");
+    }
+
+    #[test]
+    fn tokens_align_with_tweets() {
+        let p = prepared();
+        let id = pmr_sim::TweetId(0);
+        assert!(!p.tokens(id).is_empty());
+        assert!(!p.raw_text(id).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Paired significance tests for model comparisons.
+//!
+//! The paper reports statements like "the dominance of TNG over TN is
+//! statistically significant (p < 0.05)". Model MAPs are paired by user
+//! (both models rank the same users' test sets), so the appropriate tests
+//! are paired ones. Two standard choices are implemented:
+//!
+//! * a **paired randomization (sign-flip permutation) test** on the mean
+//!   AP difference — exact in distribution, no normality assumption;
+//! * the **Wilcoxon signed-rank test** with a normal approximation, the
+//!   classic nonparametric paired test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a paired comparison of per-user APs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairedComparison {
+    /// Mean of `a − b` over users.
+    pub mean_difference: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of pairs that entered the test.
+    pub pairs: usize,
+}
+
+impl PairedComparison {
+    /// Whether the difference is significant at the paper's α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Paired randomization test: under H₀ (no difference), each per-user
+/// difference is symmetric around 0, so its sign may be flipped freely.
+/// The p-value is the share of `iterations` random sign assignments whose
+/// |mean| reaches the observed |mean| (add-one smoothed).
+pub fn paired_randomization_test(
+    a: &[f64],
+    b: &[f64],
+    iterations: usize,
+    seed: u64,
+) -> PairedComparison {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    if n == 0 {
+        return PairedComparison { mean_difference: 0.0, p_value: 1.0, pairs: 0 };
+    }
+    let observed = diffs.iter().sum::<f64>() / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..iterations.max(1) {
+        let mut sum = 0.0;
+        for &d in &diffs {
+            sum += if rng.gen_bool(0.5) { d } else { -d };
+        }
+        if (sum / n as f64).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    PairedComparison {
+        mean_difference: observed,
+        p_value: (extreme + 1) as f64 / (iterations.max(1) + 1) as f64,
+        pairs: n,
+    }
+}
+
+/// Wilcoxon signed-rank test with the normal approximation (suitable for
+/// n ≳ 20, which holds for every user group but IP; use the randomization
+/// test for small groups).
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> PairedComparison {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let mut diffs: Vec<f64> =
+        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| d.abs() > 1e-12).collect();
+    let mean_difference = if a.is_empty() {
+        0.0
+    } else {
+        a.iter().zip(b).map(|(x, y)| x - y).sum::<f64>() / a.len() as f64
+    };
+    let n = diffs.len();
+    if n == 0 {
+        return PairedComparison { mean_difference, p_value: 1.0, pairs: 0 };
+    }
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite"));
+    // Ranks with midrank ties.
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (diffs[j + 1].abs() - diffs[i].abs()).abs() < 1e-12 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 =
+        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let sd = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0).sqrt();
+    if sd == 0.0 {
+        return PairedComparison { mean_difference, p_value: 1.0, pairs: n };
+    }
+    // Continuity-corrected z.
+    let z = (w_plus - mean - 0.5 * (w_plus - mean).signum()) / sd;
+    let p = 2.0 * normal_sf(z.abs());
+    PairedComparison { mean_difference, p_value: p.min(1.0), pairs: n }
+}
+
+/// Standard normal survival function via the complementary error function
+/// (Abramowitz & Stegun 7.1.26 approximation, |error| < 1.5e-7).
+fn normal_sf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * erfc(x)
+}
+
+fn erfc(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let result = poly * (-x * x).exp();
+    if x >= 0.0 {
+        result
+    } else {
+        2.0 - result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_insignificant() {
+        let a = vec![0.5, 0.6, 0.7, 0.4];
+        let r = paired_randomization_test(&a, &a, 500, 1);
+        assert_eq!(r.mean_difference, 0.0);
+        assert!(!r.significant(), "p = {}", r.p_value);
+        let w = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(w.p_value, 1.0);
+    }
+
+    #[test]
+    fn consistent_dominance_is_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 0.6 + (i % 5) as f64 * 0.01).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.1).collect();
+        let r = paired_randomization_test(&a, &b, 2_000, 1);
+        assert!(r.significant(), "randomization p = {}", r.p_value);
+        assert!((r.mean_difference - 0.1).abs() < 1e-9);
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!(w.significant(), "wilcoxon p = {}", w.p_value);
+    }
+
+    #[test]
+    fn noise_is_insignificant() {
+        // Alternating small differences with zero mean.
+        let a: Vec<f64> = (0..24).map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let b = vec![0.5; 24];
+        let r = paired_randomization_test(&a, &b, 2_000, 2);
+        assert!(!r.significant(), "p = {}", r.p_value);
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!(!w.significant(), "p = {}", w.p_value);
+    }
+
+    #[test]
+    fn empty_input_is_neutral() {
+        let r = paired_randomization_test(&[], &[], 100, 1);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.pairs, 0);
+    }
+
+    #[test]
+    fn normal_sf_matches_known_quantiles() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_sf(1.96) - 0.025).abs() < 1e-3);
+        assert!((normal_sf(2.58) - 0.005).abs() < 1e-3);
+    }
+
+    #[test]
+    fn randomization_p_is_deterministic_in_seed() {
+        let a = vec![0.6, 0.7, 0.65, 0.62];
+        let b = vec![0.5, 0.55, 0.6, 0.58];
+        let r1 = paired_randomization_test(&a, &b, 1_000, 7);
+        let r2 = paired_randomization_test(&a, &b, 1_000, 7);
+        assert_eq!(r1.p_value, r2.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_handles_ties_with_midranks() {
+        let a = vec![0.5, 0.5, 0.5, 0.8, 0.8];
+        let b = vec![0.4, 0.4, 0.4, 0.7, 0.7];
+        let w = wilcoxon_signed_rank(&a, &b);
+        assert!(w.mean_difference > 0.0);
+        assert!(w.p_value < 0.2, "uniform positive shifts rank strongly: {}", w.p_value);
+    }
+}

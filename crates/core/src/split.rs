@@ -1,0 +1,367 @@
+//! Train/test splitting (§4).
+//!
+//! Following Chen et al. 2012 as adopted by the paper: for every user, the
+//! 20% most recent of her (feed-)retweets form the positive test documents;
+//! the timestamp of the earliest retweet in that sample splits her timeline
+//! into a training and a testing phase; for each positive, four negative
+//! documents are sampled from the testing phase of her incoming feed. The
+//! train set of every representation source is restricted to the tweets of
+//! the training phase.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use pmr_sim::{Corpus, Timestamp, TweetId, UserId};
+
+use crate::source::RepresentationSource;
+
+/// Split parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Fraction of most recent retweets placed in the test set (paper: 0.2).
+    pub test_retweet_fraction: f64,
+    /// Negatives sampled per positive (paper: 4, from Chen et al. 2012).
+    pub negatives_per_positive: usize,
+    /// Seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { test_retweet_fraction: 0.2, negatives_per_positive: 4, seed: 7 }
+    }
+}
+
+/// One user's split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserSplit {
+    /// The user.
+    pub user: UserId,
+    /// Timeline boundary: tweets with `timestamp < split_time` are the
+    /// training phase.
+    pub split_time: Timestamp,
+    /// Positive test documents: the originals the user retweeted in the
+    /// testing phase (deduplicated).
+    pub positives: Vec<TweetId>,
+    /// Negative test documents: testing-phase incoming tweets the user
+    /// never retweeted.
+    pub negatives: Vec<TweetId>,
+}
+
+impl UserSplit {
+    /// Positives and negatives together, in a stable (id) order.
+    pub fn test_docs(&self) -> Vec<TweetId> {
+        let mut all: Vec<TweetId> =
+            self.positives.iter().chain(&self.negatives).copied().collect();
+        all.sort();
+        all
+    }
+
+    /// Whether a test document is a positive.
+    pub fn is_positive(&self, id: TweetId) -> bool {
+        self.positives.contains(&id)
+    }
+}
+
+/// The full split over a corpus's evaluated users.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainTestSplit {
+    per_user: HashMap<UserId, UserSplit>,
+    config: SplitConfig,
+}
+
+impl TrainTestSplit {
+    /// Compute the split for all evaluated users of a corpus.
+    ///
+    /// Users without any feed-retweet (nothing to test on) are excluded;
+    /// the paper's dataset construction guarantees ≥ 400 retweets per user,
+    /// and the simulator's plans guarantee a non-empty sample at every
+    /// scale, so exclusions indicate a mis-configured corpus.
+    pub fn compute(corpus: &Corpus, config: SplitConfig) -> TrainTestSplit {
+        let mut per_user = HashMap::new();
+        for user in corpus.evaluated_user_ids() {
+            if let Some(split) = split_user(corpus, user, &config) {
+                per_user.insert(user, split);
+            }
+        }
+        TrainTestSplit { per_user, config }
+    }
+
+    /// The split of one user, if she has a test set.
+    pub fn user(&self, user: UserId) -> Option<&UserSplit> {
+        self.per_user.get(&user)
+    }
+
+    /// Users with a valid split.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        let mut ids: Vec<UserId> = self.per_user.keys().copied().collect();
+        ids.sort();
+        ids.into_iter()
+    }
+
+    /// Number of users with a valid split.
+    pub fn len(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Whether no user has a valid split.
+    pub fn is_empty(&self) -> bool {
+        self.per_user.is_empty()
+    }
+
+    /// The split configuration.
+    pub fn config(&self) -> &SplitConfig {
+        &self.config
+    }
+
+    /// The training document ids of `(user, source)`: the source's tweets
+    /// restricted to the training phase, with any test document excluded
+    /// (a positive's original may predate the split when the retweet lagged
+    /// the original).
+    pub fn train_ids(
+        &self,
+        corpus: &Corpus,
+        user: UserId,
+        source: RepresentationSource,
+    ) -> Vec<TweetId> {
+        let Some(split) = self.per_user.get(&user) else {
+            return Vec::new();
+        };
+        let test: HashSet<TweetId> = split.test_docs().into_iter().collect();
+        source
+            .tweet_ids(corpus, user)
+            .into_iter()
+            .filter(|&id| corpus.tweet(id).timestamp < split.split_time && !test.contains(&id))
+            .collect()
+    }
+
+    /// Whether a training document counts as a *positive* example for the
+    /// user: her own posts, or feed content she retweeted during the
+    /// training phase. Drives the Rocchio aggregation (§3.2).
+    pub fn is_positive_train_doc(&self, corpus: &Corpus, user: UserId, id: TweetId) -> bool {
+        let tweet = corpus.tweet(id);
+        if tweet.author == user {
+            return true;
+        }
+        let Some(split) = self.per_user.get(&user) else {
+            return false;
+        };
+        // Retweeted by the user before the split?
+        corpus.retweets_of(user).iter().any(|&rt| {
+            let r = corpus.tweet(rt);
+            r.timestamp < split.split_time && r.retweet_of == Some(id)
+        })
+    }
+}
+
+fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<UserSplit> {
+    let followee_set: HashSet<UserId> =
+        corpus.graph.followees(user).iter().copied().collect();
+    // Feed-retweets: retweets whose original was authored by a followee —
+    // the retweets that correspond to rankable incoming documents.
+    let feed_retweets: Vec<TweetId> = corpus
+        .retweets_of(user)
+        .iter()
+        .copied()
+        .filter(|&rt| {
+            let orig = corpus.tweet(rt).retweet_of.expect("retweets_of returns retweets");
+            followee_set.contains(&corpus.tweet(orig).author)
+        })
+        .collect();
+    if feed_retweets.is_empty() {
+        return None;
+    }
+    let k = ((feed_retweets.len() as f64 * config.test_retweet_fraction).ceil() as usize)
+        .clamp(1, feed_retweets.len());
+    let sample = &feed_retweets[feed_retweets.len() - k..];
+    let split_time: Timestamp = sample
+        .iter()
+        .map(|&rt| corpus.tweet(rt).timestamp)
+        .min()
+        .expect("sample is non-empty");
+    // Everything the user ever retweeted is disqualified from being a
+    // negative, regardless of phase.
+    let retweeted_ever: HashSet<TweetId> = corpus
+        .retweets_of(user)
+        .iter()
+        .map(|&rt| corpus.tweet(rt).retweet_of.expect("retweets point at originals"))
+        .collect();
+    // Negative candidates: testing-phase incoming items (originals and
+    // followee retweets alike — both arrive in the feed) whose content the
+    // user never reposted.
+    let mut candidates: Vec<TweetId> = corpus
+        .incoming_of(user)
+        .into_iter()
+        .filter(|&id| {
+            let t = corpus.tweet(id);
+            let content = t.retweet_of.unwrap_or(id);
+            t.timestamp >= split_time && !retweeted_ever.contains(&content)
+        })
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    if candidates.is_empty() {
+        return None;
+    }
+    // Keep the paper's "reasonable proportion between the two classes": if
+    // the testing phase cannot supply 4 negatives per positive, trim the
+    // positive sample to its most recent entries.
+    let max_pos =
+        (candidates.len() / config.negatives_per_positive.max(1)).max(1).min(sample.len());
+    let mut positives: Vec<TweetId> = Vec::new();
+    for &rt in sample.iter().rev() {
+        let orig = corpus.tweet(rt).retweet_of.expect("retweets point at originals");
+        if !positives.contains(&orig) {
+            positives.push(orig);
+        }
+        if positives.len() >= max_pos {
+            break;
+        }
+    }
+    positives.sort();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (user.0 as u64).wrapping_mul(0x9E37_79B9));
+    candidates.shuffle(&mut rng);
+    let wanted = positives.len() * config.negatives_per_positive;
+    candidates.truncate(wanted);
+    candidates.sort();
+    Some(UserSplit { user, split_time, positives, negatives: candidates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_sim::{generate_corpus, ScalePreset, SimConfig};
+
+    fn setup() -> (Corpus, TrainTestSplit) {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
+        let split = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        (corpus, split)
+    }
+
+    #[test]
+    fn nearly_every_evaluated_user_has_a_split() {
+        // At smoke scale a handful of tiny-feed users can end up with an
+        // empty testing phase (the 20%-most-recent-retweets split lands in
+        // the timeline's extreme tail); at the default scale all 60 users
+        // split cleanly — the integration suite pins that.
+        let (corpus, split) = setup();
+        let evaluated = corpus.evaluated_user_ids().count();
+        assert!(
+            split.len() + 4 >= evaluated,
+            "too many users without a test set: {}/{evaluated}",
+            split.len()
+        );
+    }
+
+    #[test]
+    fn positives_are_retweeted_followee_originals() {
+        let (corpus, split) = setup();
+        for u in split.users() {
+            let s = split.user(u).unwrap();
+            assert!(!s.positives.is_empty());
+            let followees: HashSet<UserId> =
+                corpus.graph.followees(u).iter().copied().collect();
+            for &p in &s.positives {
+                let t = corpus.tweet(p);
+                assert!(!t.is_retweet(), "positives are original documents");
+                assert!(followees.contains(&t.author), "positives come from the feed");
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_are_testing_phase_and_never_retweeted() {
+        let (corpus, split) = setup();
+        for u in split.users() {
+            let s = split.user(u).unwrap();
+            let retweeted: HashSet<TweetId> = corpus
+                .retweets_of(u)
+                .iter()
+                .map(|&rt| corpus.tweet(rt).retweet_of.unwrap())
+                .collect();
+            for &n in &s.negatives {
+                assert!(corpus.tweet(n).timestamp >= s.split_time);
+                assert!(!retweeted.contains(&n), "negatives were never retweeted");
+            }
+        }
+    }
+
+    #[test]
+    fn class_ratio_is_roughly_one_to_four() {
+        let (_, split) = setup();
+        let mut ok = 0;
+        let mut total = 0;
+        for u in split.users() {
+            let s = split.user(u).unwrap();
+            total += 1;
+            if s.negatives.len() == s.positives.len() * 4 {
+                ok += 1;
+            } else {
+                // Short only when the testing phase ran out of candidates.
+                assert!(s.negatives.len() < s.positives.len() * 4);
+            }
+        }
+        assert!(ok * 10 >= total * 7, "most users should get the full 1:4 ratio: {ok}/{total}");
+    }
+
+    #[test]
+    fn train_sets_exclude_the_testing_phase_and_test_docs() {
+        let (corpus, split) = setup();
+        for u in split.users().take(10) {
+            let s = split.user(u).unwrap();
+            let test: HashSet<TweetId> = s.test_docs().into_iter().collect();
+            for src in RepresentationSource::ALL {
+                for id in split.train_ids(&corpus, u, src) {
+                    assert!(corpus.tweet(id).timestamp < s.split_time, "{src}");
+                    assert!(!test.contains(&id), "{src} leaked a test doc into training");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn own_documents_are_positive_for_rocchio() {
+        let (corpus, split) = setup();
+        let u = split.users().next().unwrap();
+        let own = split.train_ids(&corpus, u, RepresentationSource::T);
+        assert!(!own.is_empty());
+        for id in own.iter().take(5) {
+            assert!(split.is_positive_train_doc(&corpus, u, *id));
+        }
+    }
+
+    #[test]
+    fn feed_documents_split_into_positive_and_negative() {
+        let (corpus, split) = setup();
+        let mut saw_positive = false;
+        let mut saw_negative = false;
+        for u in split.users() {
+            for id in split.train_ids(&corpus, u, RepresentationSource::E) {
+                if split.is_positive_train_doc(&corpus, u, id) {
+                    saw_positive = true;
+                } else {
+                    saw_negative = true;
+                }
+            }
+            if saw_positive && saw_negative {
+                break;
+            }
+        }
+        assert!(saw_positive, "some feed docs were retweeted in the training phase");
+        assert!(saw_negative, "most feed docs are not retweeted");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
+        let a = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        let b = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        for u in a.users() {
+            assert_eq!(a.user(u).unwrap().negatives, b.user(u).unwrap().negatives);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The taxonomy of representation models (Figure 1 of the paper).
+//!
+//! Three main categories by how a model handles n-gram order:
+//!
+//! * **context-agnostic** — topic models: n-gram order is discarded
+//!   entirely; the *nonparametric* subcategory (HDP, HLDA) additionally
+//!   grows its parameter space with the data;
+//! * **local context-aware** — bag models: order *within* an n-gram counts,
+//!   order between n-grams does not;
+//! * **global context-aware** — n-gram graph models: windowed co-occurrence
+//!   edges capture order between n-grams too.
+//!
+//! The *character-based* subcategory (CN, CNG) cuts across the bag and
+//! graph families.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelFamily;
+
+/// The three main taxonomy categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaxonomyClass {
+    /// Topic models.
+    ContextAgnostic,
+    /// Bag (vector-space) models.
+    LocalContextAware,
+    /// N-gram graph models.
+    GlobalContextAware,
+}
+
+impl TaxonomyClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaxonomyClass::ContextAgnostic => "context-agnostic",
+            TaxonomyClass::LocalContextAware => "local context-aware",
+            TaxonomyClass::GlobalContextAware => "global context-aware",
+        }
+    }
+}
+
+impl ModelFamily {
+    /// The model's main taxonomy category (Fig. 1).
+    pub fn taxonomy_class(self) -> TaxonomyClass {
+        match self {
+            ModelFamily::TN | ModelFamily::CN => TaxonomyClass::LocalContextAware,
+            ModelFamily::TNG | ModelFamily::CNG => TaxonomyClass::GlobalContextAware,
+            ModelFamily::LDA
+            | ModelFamily::LLDA
+            | ModelFamily::HDP
+            | ModelFamily::HLDA
+            | ModelFamily::BTM
+            | ModelFamily::PLSA => TaxonomyClass::ContextAgnostic,
+        }
+    }
+
+    /// Whether the model belongs to the nonparametric subcategory.
+    pub fn is_nonparametric(self) -> bool {
+        matches!(self, ModelFamily::HDP | ModelFamily::HLDA)
+    }
+
+    /// Whether the model belongs to the character-based subcategory.
+    pub fn is_character_based(self) -> bool {
+        matches!(self, ModelFamily::CN | ModelFamily::CNG)
+    }
+
+    /// Whether the model is one of the "context-based" models — the
+    /// paper's collective term for local + global context-aware (§3.1).
+    pub fn is_context_based(self) -> bool {
+        self.taxonomy_class() != TaxonomyClass::ContextAgnostic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_one_classification() {
+        assert_eq!(ModelFamily::TN.taxonomy_class(), TaxonomyClass::LocalContextAware);
+        assert_eq!(ModelFamily::CN.taxonomy_class(), TaxonomyClass::LocalContextAware);
+        assert_eq!(ModelFamily::TNG.taxonomy_class(), TaxonomyClass::GlobalContextAware);
+        assert_eq!(ModelFamily::CNG.taxonomy_class(), TaxonomyClass::GlobalContextAware);
+        for m in [
+            ModelFamily::LDA,
+            ModelFamily::LLDA,
+            ModelFamily::HDP,
+            ModelFamily::HLDA,
+            ModelFamily::BTM,
+            ModelFamily::PLSA,
+        ] {
+            assert_eq!(m.taxonomy_class(), TaxonomyClass::ContextAgnostic);
+        }
+    }
+
+    #[test]
+    fn nonparametric_subcategory() {
+        assert!(ModelFamily::HDP.is_nonparametric());
+        assert!(ModelFamily::HLDA.is_nonparametric());
+        assert!(!ModelFamily::LDA.is_nonparametric());
+        assert!(!ModelFamily::BTM.is_nonparametric());
+    }
+
+    #[test]
+    fn character_subcategory_spans_bag_and_graph() {
+        assert!(ModelFamily::CN.is_character_based());
+        assert!(ModelFamily::CNG.is_character_based());
+        assert!(!ModelFamily::TN.is_character_based());
+        assert!(!ModelFamily::TNG.is_character_based());
+    }
+
+    #[test]
+    fn context_based_is_the_union_of_local_and_global() {
+        assert!(ModelFamily::TN.is_context_based());
+        assert!(ModelFamily::CNG.is_context_based());
+        assert!(!ModelFamily::LDA.is_context_based());
+    }
+}

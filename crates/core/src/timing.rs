@@ -1,0 +1,73 @@
+//! Time-efficiency aggregation (§4: TTime and ETime; Figure 7).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Min / average / max of a set of durations — one bar group of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeStats {
+    /// Fastest observation.
+    pub min: Duration,
+    /// Mean observation.
+    pub avg: Duration,
+    /// Slowest observation.
+    pub max: Duration,
+}
+
+impl TimeStats {
+    /// Aggregate a set of observations (zeros if empty).
+    pub fn from_durations(ds: &[Duration]) -> TimeStats {
+        if ds.is_empty() {
+            return TimeStats { min: Duration::ZERO, avg: Duration::ZERO, max: Duration::ZERO };
+        }
+        let total: Duration = ds.iter().sum();
+        TimeStats {
+            min: *ds.iter().min().expect("nonempty"),
+            avg: total / ds.len() as u32,
+            max: *ds.iter().max().expect("nonempty"),
+        }
+    }
+}
+
+/// Render a duration in the compact style of the paper's log-scale axis.
+pub fn human(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate() {
+        let ds = [Duration::from_millis(10), Duration::from_millis(30)];
+        let s = TimeStats::from_durations(&ds);
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.avg, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TimeStats::from_durations(&[]);
+        assert_eq!(s.avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn human_formats_scale() {
+        assert_eq!(human(Duration::from_micros(50)), "50µs");
+        assert_eq!(human(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(human(Duration::from_secs(3)), "3.00s");
+        assert_eq!(human(Duration::from_secs(600)), "10.0min");
+    }
+}

@@ -1,0 +1,300 @@
+//! N-gram graph construction and the update (merge) operator.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::vocab::{TermId, Vocabulary};
+
+/// Packs an undirected edge into a single key with the smaller endpoint in
+/// the high half, making `(a, b)` and `(b, a)` identical.
+fn edge_key(a: TermId, b: TermId) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Unpack an edge key into its endpoints.
+fn edge_endpoints(key: u64) -> (TermId, TermId) {
+    ((key >> 32) as TermId, (key & 0xFFFF_FFFF) as TermId)
+}
+
+/// A shared interning space so that graphs built from different documents
+/// use the same vertex ids and can be compared edge-by-edge.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphSpace {
+    vocab: Vocabulary,
+}
+
+impl GraphSpace {
+    /// An empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct n-grams interned so far.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Whether no n-gram has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// The surface form of a vertex.
+    pub fn gram(&self, id: TermId) -> &str {
+        self.vocab.term(id)
+    }
+
+    /// Build the graph of a document from its ordered n-gram sequence.
+    ///
+    /// Every pair of grams at positions `i < j ≤ i + window` is connected;
+    /// each co-occurrence adds 1 to the edge weight. This is the windowed
+    /// co-occurrence rule of Giannakopoulos et al. with window size `n`.
+    pub fn graph_from_grams<S: AsRef<str>>(
+        &mut self,
+        grams: &[S],
+        window: usize,
+    ) -> NGramGraph {
+        assert!(window >= 1, "window must be at least 1");
+        let ids: Vec<TermId> = grams.iter().map(|g| self.vocab.intern(g.as_ref())).collect();
+        let mut edges: HashMap<u64, f32> = HashMap::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len().min(i + window + 1) {
+                *edges.entry(edge_key(ids[i], ids[j])).or_insert(0.0) += 1.0;
+            }
+        }
+        NGramGraph { edges, merged_docs: 1 }
+    }
+}
+
+/// An undirected weighted n-gram graph (a document model or, after merging,
+/// a user model).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NGramGraph {
+    edges: HashMap<u64, f32>,
+    /// How many document graphs this graph aggregates (1 for a plain
+    /// document model). Drives the learning factor of the update operator.
+    merged_docs: usize,
+}
+
+impl NGramGraph {
+    /// An empty graph (merging into it behaves as the identity).
+    pub fn new() -> Self {
+        NGramGraph { edges: HashMap::new(), merged_docs: 0 }
+    }
+
+    /// Number of edges — the graph size `|G|` used by all similarities.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// How many document graphs were merged into this one.
+    pub fn merged_docs(&self) -> usize {
+        self.merged_docs
+    }
+
+    /// The weight of the edge between two grams (0 if absent).
+    pub fn weight(&self, a: TermId, b: TermId) -> f32 {
+        self.edges.get(&edge_key(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// Whether the edge between two grams exists.
+    pub fn contains(&self, a: TermId, b: TermId) -> bool {
+        self.edges.contains_key(&edge_key(a, b))
+    }
+
+    /// Iterate over `(endpoint_a, endpoint_b, weight)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (TermId, TermId, f32)> + '_ {
+        self.edges.iter().map(|(&k, &w)| {
+            let (a, b) = edge_endpoints(k);
+            (a, b, w)
+        })
+    }
+
+    /// Raw edge map access for the similarity kernels.
+    pub(crate) fn raw(&self) -> &HashMap<u64, f32> {
+        &self.edges
+    }
+
+    /// The update operator (Giannakopoulos & Palpanas 2010): merge a
+    /// document graph into this (user) graph with learning factor
+    /// `l = 1 / (merged_docs + 1)`, so that after merging `k` documents
+    /// every edge weight is the running average of its per-document weights
+    /// (documents lacking an edge contribute 0).
+    pub fn merge(&mut self, doc: &NGramGraph) {
+        let l = 1.0 / (self.merged_docs as f32 + 1.0);
+        // Existing edges move toward the document's weight (0 if absent).
+        for (key, w) in self.edges.iter_mut() {
+            let dw = doc.edges.get(key).copied().unwrap_or(0.0);
+            *w += (dw - *w) * l;
+        }
+        // New edges appear with their averaged share.
+        for (key, &dw) in &doc.edges {
+            self.edges.entry(*key).or_insert(dw * l);
+        }
+        self.edges.retain(|_, w| *w != 0.0);
+        self.merged_docs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grams(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn edge_keys_are_symmetric() {
+        assert_eq!(edge_key(3, 7), edge_key(7, 3));
+        assert_ne!(edge_key(3, 7), edge_key(3, 8));
+        assert_eq!(edge_endpoints(edge_key(3, 7)), (3, 7));
+    }
+
+    #[test]
+    fn window_one_connects_adjacent_grams() {
+        let mut space = GraphSpace::new();
+        let g = space.graph_from_grams(&grams("a b c"), 1);
+        assert_eq!(g.size(), 2); // a-b, b-c
+        let a = 0;
+        let b = 1;
+        let c = 2;
+        assert!(g.contains(a, b));
+        assert!(g.contains(b, c));
+        assert!(!g.contains(a, c));
+    }
+
+    #[test]
+    fn window_two_reaches_one_further() {
+        let mut space = GraphSpace::new();
+        let g = space.graph_from_grams(&grams("a b c"), 2);
+        assert_eq!(g.size(), 3); // a-b, a-c, b-c
+    }
+
+    #[test]
+    fn repeated_cooccurrence_increases_weight() {
+        let mut space = GraphSpace::new();
+        let g = space.graph_from_grams(&grams("a b a b"), 1);
+        // Adjacent pairs: (a,b), (b,a), (a,b) — all the same undirected edge.
+        assert_eq!(g.weight(0, 1), 3.0);
+    }
+
+    #[test]
+    fn same_gram_twice_in_window_forms_self_edge() {
+        let mut space = GraphSpace::new();
+        let g = space.graph_from_grams(&grams("a a"), 1);
+        assert_eq!(g.weight(0, 0), 1.0);
+    }
+
+    #[test]
+    fn order_matters_through_shared_space() {
+        // "bob sues" vs "sues bob": same grams, different *edges* only if
+        // window < distance; with bigram tokens the graphs coincide, but
+        // with the grams of a longer phrase they differ.
+        let mut space = GraphSpace::new();
+        let g1 = space.graph_from_grams(&grams("bob sues jim"), 1);
+        let g2 = space.graph_from_grams(&grams("jim sues bob"), 1);
+        // Both contain bob-sues and sues-jim edges (undirected), so these
+        // tiny graphs coincide; global context shows up through *window*
+        // composition:
+        let g3 = space.graph_from_grams(&grams("bob sues jim hard"), 1);
+        assert!(g1.size() == g2.size());
+        assert!(g3.size() > g1.size());
+    }
+
+    #[test]
+    fn merge_averages_weights() {
+        let mut space = GraphSpace::new();
+        let d1 = space.graph_from_grams(&grams("a b"), 1); // a-b: 1
+        let d2 = space.graph_from_grams(&grams("a b a b"), 1); // a-b: 3
+        let mut user = NGramGraph::new();
+        user.merge(&d1);
+        assert_eq!(user.weight(0, 1), 1.0);
+        user.merge(&d2);
+        assert_eq!(user.weight(0, 1), 2.0); // average of 1 and 3
+        assert_eq!(user.merged_docs(), 2);
+    }
+
+    #[test]
+    fn merge_dilutes_edges_missing_from_new_docs() {
+        let mut space = GraphSpace::new();
+        let d1 = space.graph_from_grams(&grams("a b"), 1);
+        let d2 = space.graph_from_grams(&grams("c d"), 1);
+        let mut user = NGramGraph::new();
+        user.merge(&d1);
+        user.merge(&d2);
+        // a-b averaged over 2 docs: (1 + 0)/2; c-d likewise.
+        assert_eq!(user.weight(0, 1), 0.5);
+        assert_eq!(user.weight(2, 3), 0.5);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut space = GraphSpace::new();
+        let d = space.graph_from_grams(&grams("a b c"), 2);
+        let mut user = NGramGraph::new();
+        user.merge(&d);
+        assert_eq!(user.size(), d.size());
+        for (a, b, w) in d.edges() {
+            assert_eq!(user.weight(a, b), w);
+        }
+    }
+
+    #[test]
+    fn empty_gram_sequences_yield_empty_graphs() {
+        let mut space = GraphSpace::new();
+        let g = space.graph_from_grams::<String>(&[], 3);
+        assert!(g.is_empty());
+        let g = space.graph_from_grams(&grams("solo"), 3);
+        assert!(g.is_empty(), "a single gram has no co-occurrences");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After merging k single-doc graphs, every edge weight equals the
+        /// arithmetic mean of its per-document weights.
+        #[test]
+        fn merge_is_running_average(
+            docs in proptest::collection::vec(
+                proptest::collection::vec("[ab]{1,2}", 2..8), 1..6),
+            window in 1usize..3,
+        ) {
+            let mut space = GraphSpace::new();
+            let doc_graphs: Vec<NGramGraph> =
+                docs.iter().map(|d| space.graph_from_grams(d, window)).collect();
+            let mut user = NGramGraph::new();
+            for g in &doc_graphs {
+                user.merge(g);
+            }
+            let k = doc_graphs.len() as f32;
+            for (a, b, w) in user.edges() {
+                let mean: f32 =
+                    doc_graphs.iter().map(|g| g.weight(a, b)).sum::<f32>() / k;
+                prop_assert!((w - mean).abs() < 1e-4, "edge ({a},{b}): {w} vs {mean}");
+            }
+        }
+
+        /// Graph size is bounded by the number of windowed pairs.
+        #[test]
+        fn size_is_bounded(dgrams in proptest::collection::vec("[a-d]{1,2}", 0..20), window in 1usize..4) {
+            let mut space = GraphSpace::new();
+            let g = space.graph_from_grams(&dgrams, window);
+            let max_pairs: usize = (0..dgrams.len())
+                .map(|i| dgrams.len().min(i + window + 1) - i - 1)
+                .sum();
+            prop_assert!(g.size() <= max_pairs);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Simulation configuration and scale presets.
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::Language;
+
+/// How large a corpus to generate, relative to the paper's dataset
+/// (60 users, 2.07M tweets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalePreset {
+    /// Tiny corpus for unit tests and CI smoke runs (~2k tweets).
+    Smoke,
+    /// Laptop-scale default (~50–80k tweets), the scale at which
+    /// EXPERIMENTS.md records results.
+    Default,
+    /// Approaches the paper's magnitudes (~1M+ tweets). Slow.
+    Full,
+}
+
+impl ScalePreset {
+    /// Multiplier applied to per-user tweet-volume targets, relative to
+    /// `Smoke`.
+    fn volume_factor(self) -> f64 {
+        match self {
+            ScalePreset::Smoke => 1.0,
+            ScalePreset::Default => 6.0,
+            ScalePreset::Full => 120.0,
+        }
+    }
+}
+
+/// Per-user-band activity targets. The simulator plans, per user, how many
+/// original tweets and retweets she posts and how many tweets she receives;
+/// the bands mirror the structure of the paper's Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActivityBand {
+    /// Number of users to generate in this band.
+    pub users: usize,
+    /// Range of target posting ratios |R∪T| / |E| (uniform).
+    pub posting_ratio: (f64, f64),
+    /// Range of target outgoing volumes |R∪T| (uniform, before scaling).
+    pub outgoing: (usize, usize),
+    /// Fraction of outgoing tweets that are retweets (uniform range).
+    pub retweet_share: (f64, f64),
+}
+
+/// Full simulator configuration. Construct via [`SimConfig::preset`] and
+/// tweak fields as needed; every field is plain data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Activity bands, one per intended user group. The paper's dataset has
+    /// 20 IS users (ratio ≤ 0.13), 20 BU users (0.76–1.16), 9 IP users
+    /// (ratio > 2) and 11 extra users (1.2–2.0) that only join "All Users".
+    pub bands: Vec<ActivityBand>,
+    /// Number of *background* users: accounts that are never evaluated but
+    /// populate the rest of the social graph, exactly as the paper's 60
+    /// users sit inside the full 2009 Twitter graph. They supply the
+    /// low-volume followees that information producers need (IP users
+    /// receive far less than they post) and the follower mass behind the
+    /// `F` representation source.
+    pub background_users: usize,
+    /// Outgoing-volume range of background users (before scaling).
+    pub background_outgoing: (usize, usize),
+    /// Fraction of a background user's outgoing posts that are retweets.
+    pub background_retweet_share: f64,
+    /// Number of latent interest topics in the generative world.
+    pub num_topics: usize,
+    /// Dirichlet concentration of user interest profiles (small = focused).
+    pub interest_alpha: f64,
+    /// Topic words per topic per language.
+    pub topic_words_per_language: usize,
+    /// Multi-word collocations per topic per language (these reward models
+    /// that capture word order, as token sequences do in real text).
+    pub phrases_per_topic: usize,
+    /// Shared (topic-neutral) vocabulary size per language.
+    pub common_words_per_language: usize,
+    /// Tweet length range in tokens.
+    pub tweet_len: (usize, usize),
+    /// Probability that the next emission is a topic collocation.
+    pub p_phrase: f64,
+    /// Probability that a tweet embeds one of its topic's *headlines* — a
+    /// full 5–8 word sentence repeated verbatim across the platform (news
+    /// headlines, memes, quoted one-liners: the RT culture of 2009
+    /// Twitter). Verbatim repetition is what higher-order n-gram models
+    /// feed on in real text.
+    pub p_headline: f64,
+    /// Headlines per topic per language.
+    pub headlines_per_topic: usize,
+    /// Probability that the next emission is a topic word (vs. common word).
+    pub p_topic_word: f64,
+    /// Probability of appending a topic-correlated hashtag to a tweet.
+    pub p_hashtag: f64,
+    /// Probability of a leading `@mention` (conversational tweet).
+    pub p_mention: f64,
+    /// Probability of embedding a URL.
+    pub p_url: f64,
+    /// Probability of appending an emoticon.
+    pub p_emoticon: f64,
+    /// Probability that any given word is noised (misspelling/elongation).
+    pub p_noise: f64,
+    /// Probability that a tweet carries one of its author's personal style
+    /// tokens (slang, habitual tags, client signatures). Style tokens are
+    /// what lets a user's past retweets match *future posts of the same
+    /// authors* beyond pure topicality — the reason the paper finds R the
+    /// strongest representation source.
+    pub p_author_style: f64,
+    /// Log-scale spread of per-(reader, author) retweet affinity: users
+    /// repeatedly repost the same few accounts. 0 disables the effect.
+    pub author_affinity_sigma: f64,
+    /// Probability that an original tweet is off-interest "chatter" — a
+    /// conversation or aside about a uniformly random topic. This is why
+    /// the paper finds a user's tweets (T) noisier than her retweets (R):
+    /// people chat; they retweet what genuinely interests them.
+    pub p_chatter: f64,
+    /// Per-language share of users, `(language, weight)`. Mirrors Table 3.
+    pub language_mix: Vec<(Language, f64)>,
+    /// Probability that a tweet is written in the user's secondary language.
+    pub p_secondary_language: f64,
+    /// Relative weight of cross-language content in the discovery retweet
+    /// pool. Users overwhelmingly search and repost in their own language.
+    pub cross_language_discount: f64,
+    /// Sharpness of the retweet decision: weights exp(γ·similarity) are used
+    /// to choose which incoming tweets a user reposts. Higher = retweets are
+    /// more strongly concentrated on the user's interests.
+    pub retweet_gamma: f64,
+    /// How strongly retweet sharpness couples to posting activity, in
+    /// [0, 1]. The paper's interpretation of its user-type result is that
+    /// "the more information a user produces, the more reliable are the
+    /// models that represent her interests": passive information seekers
+    /// also repost viral or social content, diluting the interest signal.
+    /// The effective sharpness is
+    /// `γ · (1 − c + c · min(1, posting_ratio))` with coupling `c`.
+    pub gamma_activity_coupling: f64,
+    /// Fraction of a user's retweets drawn from her followee feed; the rest
+    /// come from a global "discovery" pool (search/trending), which is how
+    /// real users repost content their snapshot feed does not contain.
+    pub retweet_from_feed: f64,
+    /// Hard cap on the share of a user's feed she may retweet, so that
+    /// never-retweeted incoming items (the evaluation's negatives) always
+    /// remain available.
+    pub max_feed_retweet_share: f64,
+    /// Probability that a follow edge is reciprocated when interests are
+    /// similar (scaled down for dissimilar pairs).
+    pub p_reciprocal: f64,
+    /// Length of the simulated timeline in abstract time units.
+    pub horizon: u64,
+}
+
+impl SimConfig {
+    /// The paper's band structure at the requested scale.
+    pub fn preset(scale: ScalePreset, seed: u64) -> Self {
+        let f = scale.volume_factor();
+        let out = |lo: usize, hi: usize| {
+            (((lo as f64 * f) as usize).max(8), ((hi as f64 * f) as usize).max(16))
+        };
+        SimConfig {
+            seed,
+            bands: vec![
+                // IS: 20 users, low posting ratio, modest outgoing.
+                ActivityBand {
+                    users: 20,
+                    posting_ratio: (0.04, 0.13),
+                    outgoing: out(18, 48),
+                    retweet_share: (0.45, 0.65),
+                },
+                // BU: 20 users, ratio near 1.
+                ActivityBand {
+                    users: 20,
+                    posting_ratio: (0.76, 1.16),
+                    outgoing: out(14, 60),
+                    retweet_share: (0.5, 0.75),
+                },
+                // IP: 9 users, ratio > 2, heavy outgoing.
+                ActivityBand {
+                    users: 9,
+                    posting_ratio: (2.2, 6.0),
+                    outgoing: out(30, 130),
+                    retweet_share: (0.7, 0.95),
+                },
+                // Extra: 11 users with ratios between BU and IP; they only
+                // participate in the "All Users" group, as in the paper.
+                ActivityBand {
+                    users: 11,
+                    posting_ratio: (1.2, 2.0),
+                    outgoing: out(14, 50),
+                    retweet_share: (0.5, 0.8),
+                },
+            ],
+            background_users: match scale {
+                ScalePreset::Smoke => 150,
+                ScalePreset::Default => 240,
+                ScalePreset::Full => 420,
+            },
+            background_outgoing: (
+                ((3.0 * f) as usize).max(2),
+                ((15.0 * f) as usize).max(6),
+            ),
+            background_retweet_share: 0.3,
+            num_topics: 40,
+            interest_alpha: 0.08,
+            topic_words_per_language: 60,
+            phrases_per_topic: 12,
+            common_words_per_language: 160,
+            tweet_len: (6, 18),
+            p_phrase: 0.30,
+            p_headline: 0.30,
+            headlines_per_topic: 6,
+            p_topic_word: 0.40,
+            p_hashtag: 0.25,
+            p_mention: 0.12,
+            p_url: 0.08,
+            p_emoticon: 0.10,
+            p_noise: 0.06,
+            p_chatter: 0.5,
+            p_author_style: 0.45,
+            author_affinity_sigma: 0.0,
+            language_mix: vec![
+                (Language::English, 0.827),
+                (Language::Japanese, 0.034),
+                (Language::Chinese, 0.017),
+                (Language::Portuguese, 0.024),
+                (Language::Thai, 0.017),
+                (Language::French, 0.017),
+                (Language::Korean, 0.017),
+                (Language::German, 0.017),
+                (Language::Indonesian, 0.017),
+                (Language::Spanish, 0.013),
+            ],
+            p_secondary_language: 0.05,
+            cross_language_discount: 0.1,
+            retweet_gamma: 12.0,
+            gamma_activity_coupling: 0.45,
+            retweet_from_feed: 0.75,
+            max_feed_retweet_share: 0.15,
+            p_reciprocal: 0.35,
+            horizon: 1_000_000,
+        }
+    }
+
+    /// Number of *evaluated* users (sum of the bands; 60 in the presets).
+    pub fn total_users(&self) -> usize {
+        self.bands.iter().map(|b| b.users).sum()
+    }
+
+    /// Total population including background users.
+    pub fn total_population(&self) -> usize {
+        self.total_users() + self.background_users
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::preset(ScalePreset::Default, 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sixty_users() {
+        for scale in [ScalePreset::Smoke, ScalePreset::Default, ScalePreset::Full] {
+            assert_eq!(SimConfig::preset(scale, 1).total_users(), 60);
+        }
+    }
+
+    #[test]
+    fn band_structure_mirrors_the_paper() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.bands[0].users, 20); // IS
+        assert_eq!(cfg.bands[1].users, 20); // BU
+        assert_eq!(cfg.bands[2].users, 9); // IP
+        assert_eq!(cfg.bands[3].users, 11); // extra, All-Users-only
+        assert!(cfg.bands[0].posting_ratio.1 <= 0.13);
+        assert!(cfg.bands[2].posting_ratio.0 > 2.0);
+    }
+
+    #[test]
+    fn language_mix_is_normalizable_and_english_dominant() {
+        let cfg = SimConfig::default();
+        let total: f64 = cfg.language_mix.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.9 && total <= 1.01, "weights should be near a distribution: {total}");
+        let (lang, w) = cfg.language_mix[0];
+        assert_eq!(lang, Language::English);
+        assert!(w > 0.8);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let smoke = SimConfig::preset(ScalePreset::Smoke, 1);
+        let full = SimConfig::preset(ScalePreset::Full, 1);
+        assert!(full.bands[0].outgoing.1 > smoke.bands[0].outgoing.1 * 50);
+    }
+}

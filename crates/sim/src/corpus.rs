@@ -1,0 +1,132 @@
+//! The generated corpus and its per-user views.
+//!
+//! [`Corpus`] exposes exactly the observables the paper's experimental
+//! framework consumes: per-user original tweets `T(u)`, retweets `R(u)`,
+//! incoming feed `E(u)` (all (re)tweets of followees), followers' tweets
+//! `F(u)` and reciprocal-connection tweets `C(u) = E(u) ∩ F(u)` (§2), always
+//! in timestamp order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::graph::SocialGraph;
+use crate::tweet::{Tweet, TweetId};
+use crate::user::{User, UserId};
+
+/// A fully generated corpus: users, tweets, social graph and per-user
+/// timeline indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The configuration the corpus was generated from.
+    pub config: SimConfig,
+    /// All users; `users[i].id == UserId(i)`.
+    pub users: Vec<User>,
+    /// All tweets; `tweets[i].id == TweetId(i)`.
+    pub tweets: Vec<Tweet>,
+    /// Follow edges.
+    pub graph: SocialGraph,
+    /// Per-user original tweets, time-ordered.
+    pub(crate) originals: Vec<Vec<TweetId>>,
+    /// Per-user retweets, time-ordered.
+    pub(crate) retweets: Vec<Vec<TweetId>>,
+}
+
+impl Corpus {
+    /// Look up a tweet by id.
+    pub fn tweet(&self, id: TweetId) -> &Tweet {
+        &self.tweets[id.index()]
+    }
+
+    /// Look up a user by id.
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.index()]
+    }
+
+    /// All user ids, including background users.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.users.len() as u32).map(UserId)
+    }
+
+    /// Ids of the *evaluated* users — the 60-user dataset of the paper.
+    /// Background users exist only to populate the surrounding graph.
+    pub fn evaluated_user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.users.iter().filter(|u| !u.is_background).map(|u| u.id)
+    }
+
+    /// `T(u)`: the user's original tweets (never includes retweets),
+    /// time-ordered.
+    pub fn originals_of(&self, u: UserId) -> &[TweetId] {
+        &self.originals[u.index()]
+    }
+
+    /// `R(u)`: the user's retweets, time-ordered.
+    pub fn retweets_of(&self, u: UserId) -> &[TweetId] {
+        &self.retweets[u.index()]
+    }
+
+    /// `R(u) ∪ T(u)`: everything the user posted, merged in time order.
+    pub fn outgoing_of(&self, u: UserId) -> Vec<TweetId> {
+        let mut all: Vec<TweetId> =
+            self.originals[u.index()].iter().chain(&self.retweets[u.index()]).copied().collect();
+        self.sort_by_time(&mut all);
+        all
+    }
+
+    /// `E(u)`: all (re)tweets of the user's followees, time-ordered.
+    pub fn incoming_of(&self, u: UserId) -> Vec<TweetId> {
+        let mut all = Vec::new();
+        for &v in self.graph.followees(u) {
+            all.extend_from_slice(&self.originals[v.index()]);
+            all.extend_from_slice(&self.retweets[v.index()]);
+        }
+        self.sort_by_time(&mut all);
+        all
+    }
+
+    /// `F(u)`: all (re)tweets of the user's followers, time-ordered.
+    pub fn followers_tweets_of(&self, u: UserId) -> Vec<TweetId> {
+        let mut all = Vec::new();
+        for &v in self.graph.followers(u) {
+            all.extend_from_slice(&self.originals[v.index()]);
+            all.extend_from_slice(&self.retweets[v.index()]);
+        }
+        self.sort_by_time(&mut all);
+        all
+    }
+
+    /// `C(u) = E(u) ∩ F(u)`: all (re)tweets of reciprocal connections.
+    pub fn reciprocal_tweets_of(&self, u: UserId) -> Vec<TweetId> {
+        let mut all = Vec::new();
+        for v in self.graph.reciprocal(u) {
+            all.extend_from_slice(&self.originals[v.index()]);
+            all.extend_from_slice(&self.retweets[v.index()]);
+        }
+        self.sort_by_time(&mut all);
+        all
+    }
+
+    /// The user's measured posting ratio `|R(u) ∪ T(u)| / |E(u)|` (§2).
+    pub fn posting_ratio(&self, u: UserId) -> f64 {
+        let outgoing = self.originals[u.index()].len() + self.retweets[u.index()].len();
+        let incoming = self.incoming_of(u).len();
+        if incoming == 0 {
+            f64::INFINITY
+        } else {
+            outgoing as f64 / incoming as f64
+        }
+    }
+
+    /// Total number of tweets in the corpus.
+    pub fn len(&self) -> usize {
+        self.tweets.len()
+    }
+
+    /// Whether the corpus has no tweets.
+    pub fn is_empty(&self) -> bool {
+        self.tweets.is_empty()
+    }
+
+    fn sort_by_time(&self, ids: &mut [TweetId]) {
+        ids.sort_by_key(|id| (self.tweets[id.index()].timestamp, *id));
+    }
+}

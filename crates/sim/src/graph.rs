@@ -1,0 +1,345 @@
+//! The simulated social graph.
+//!
+//! Twitter's follow relation is unilateral: `u` may follow `v` without `v`
+//! following back; when both directions exist the users are *reciprocally
+//! connected* (§2 of the paper). The builder shapes edges by two forces that
+//! also shape the real graph — interest homophily (users follow accounts
+//! similar to their tastes) and volume (a user keeps following accounts
+//! until her feed carries the traffic she wants to consume). Posting ratios
+//! (and therefore the IS/BU/IP partition) emerge from the volume targets.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use serde::{Deserialize, Serialize};
+
+use crate::interests::cosine;
+use crate::user::{User, UserId};
+
+/// Directed follow edges stored in both orientations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SocialGraph {
+    followees: Vec<Vec<UserId>>,
+    followers: Vec<Vec<UserId>>,
+}
+
+impl SocialGraph {
+    /// An empty graph over `n` users.
+    pub fn with_users(n: usize) -> Self {
+        SocialGraph { followees: vec![Vec::new(); n], followers: vec![Vec::new(); n] }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.followees.len()
+    }
+
+    /// Whether the graph has no users.
+    pub fn is_empty(&self) -> bool {
+        self.followees.is_empty()
+    }
+
+    /// Accounts `u` follows — the set `e(u)` of the paper.
+    pub fn followees(&self, u: UserId) -> &[UserId] {
+        &self.followees[u.index()]
+    }
+
+    /// Accounts following `u` — the set `f(u)` of the paper.
+    pub fn followers(&self, u: UserId) -> &[UserId] {
+        &self.followers[u.index()]
+    }
+
+    /// Users reciprocally connected with `u`: followees ∩ followers.
+    pub fn reciprocal(&self, u: UserId) -> Vec<UserId> {
+        let fers: std::collections::HashSet<UserId> =
+            self.followers[u.index()].iter().copied().collect();
+        self.followees[u.index()].iter().copied().filter(|v| fers.contains(v)).collect()
+    }
+
+    /// Whether the edge `a → b` exists.
+    pub fn follows(&self, a: UserId, b: UserId) -> bool {
+        self.followees[a.index()].contains(&b)
+    }
+
+    /// Insert the edge `a → b` (idempotent; self-loops rejected).
+    pub fn add_edge(&mut self, a: UserId, b: UserId) {
+        if a == b || self.follows(a, b) {
+            return;
+        }
+        self.followees[a.index()].push(b);
+        self.followers[b.index()].push(a);
+    }
+
+    /// Remove the edge `a → b` if present.
+    pub fn remove_edge(&mut self, a: UserId, b: UserId) {
+        self.followees[a.index()].retain(|&v| v != b);
+        self.followers[b.index()].retain(|&v| v != a);
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.followees.iter().map(Vec::len).sum()
+    }
+
+    /// Build a graph over `users` honoring each evaluated user's planned
+    /// incoming volume as closely as the population's outgoing plans allow.
+    ///
+    /// Evaluated users pick followees greedily by homophily but skip
+    /// candidates whose volume would overshoot the feed target — this is how
+    /// information producers end up following a few quiet accounts, giving
+    /// them the high posting ratios of the paper's IP group. Background
+    /// users follow a handful of accounts each, which supplies evaluated
+    /// users with followers (the `F` source) and reciprocal connections.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, users: &[User]) -> Self {
+        let n = users.len();
+        let mut graph = SocialGraph::with_users(n);
+        // Background users follow first so that evaluated users can prefer
+        // following back, which seeds reciprocal connections.
+        for i in 0..n {
+            if !users[i].is_background {
+                continue;
+            }
+            let u = users[i].id;
+            let k = rng.gen_range(3..=10usize);
+            let scored = score_candidates(rng, &graph, users, i, 0.15);
+            for &(_, j) in scored.iter().take(k) {
+                graph.add_edge(u, users[j].id);
+            }
+        }
+        // Evaluated users with the largest feeds select next.
+        let mut order: Vec<usize> =
+            (0..n).filter(|&i| !users[i].is_background).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(users[i].planned_incoming));
+        for &i in &order {
+            let u = users[i].id;
+            let target = users[i].planned_incoming;
+            let budget = (target as f64 * 1.15) as usize + 1;
+            let scored = score_candidates(rng, &graph, users, i, 0.4);
+            let mut incoming = 0usize;
+            for &(_, j) in &scored {
+                if incoming >= target {
+                    break;
+                }
+                let volume = users[j].planned_outgoing();
+                // Skip oversized candidates — a smaller account may fit
+                // further down the ranking.
+                if incoming + volume > budget {
+                    continue;
+                }
+                graph.add_edge(u, users[j].id);
+                incoming += volume;
+            }
+            // The paper filters out users with fewer than three followees;
+            // top up with the quietest unfollowed accounts so that tight
+            // feed budgets still yield a valid user.
+            if graph.followees(u).len() < 3 {
+                let mut by_volume: Vec<usize> = (0..users.len()).filter(|&j| j != i).collect();
+                by_volume.sort_by_key(|&j| users[j].planned_outgoing());
+                for &j in &by_volume {
+                    if graph.followees(u).len() >= 3 {
+                        break;
+                    }
+                    graph.add_edge(u, users[j].id);
+                }
+            }
+        }
+        graph.repair(rng, users);
+        graph
+    }
+
+    /// Post-build repair for evaluated users: every one must have ≥ 3
+    /// followers, ≥ 3 followees (the paper filters out anyone below that)
+    /// and ≥ 1 reciprocal connection (so the C source is never empty).
+    fn repair<R: Rng + ?Sized>(&mut self, rng: &mut R, users: &[User]) {
+        let n = users.len();
+        for i in 0..n {
+            if users[i].is_background {
+                continue;
+            }
+            let u = users[i].id;
+            // Followers: ask random background users to follow u.
+            while self.followers(u).len() < 3 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    self.add_edge(users[j].id, u);
+                }
+            }
+            // Reciprocal: follow back an interest-similar *low-volume*
+            // follower so the feed target is not wrecked.
+            if self.reciprocal(u).is_empty() {
+                let mut candidates: Vec<UserId> = self.followers(u).to_vec();
+                candidates.sort_by_key(|v| users[v.index()].planned_outgoing());
+                candidates.truncate(5);
+                let best = candidates
+                    .into_iter()
+                    .max_by(|&a, &b| {
+                        let sa = cosine(&users[i].interests, &users[a.index()].interests);
+                        let sb = cosine(&users[i].interests, &users[b.index()].interests);
+                        sa.partial_cmp(&sb).expect("scores are finite")
+                    })
+                    .expect("every user has followers after the loop above");
+                let added = !self.follows(u, best);
+                self.add_edge(u, best);
+                // Swap out the followee of closest volume so the follow-back
+                // does not inflate the feed beyond its planned size.
+                if added && self.followees(u).len() > 3 {
+                    let v = users[best.index()].planned_outgoing() as i64;
+                    let swap = self
+                        .followees(u)
+                        .iter()
+                        .copied()
+                        .filter(|&w| w != best)
+                        .min_by_key(|w| (users[w.index()].planned_outgoing() as i64 - v).abs());
+                    if let Some(w) = swap {
+                        self.remove_edge(u, w);
+                    }
+                }
+            }
+        }
+        // A final shuffle of adjacency lists removes any order artifacts.
+        for list in self.followees.iter_mut().chain(self.followers.iter_mut()) {
+            list.shuffle(rng);
+        }
+    }
+}
+
+/// Score every other user as a followee candidate for user `i`:
+/// interest homophily + a follow-back bonus + uniform jitter, sorted
+/// descending.
+fn score_candidates<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &SocialGraph,
+    users: &[User],
+    i: usize,
+    follow_back_bonus: f32,
+) -> Vec<(f32, usize)> {
+    let u = users[i].id;
+    let mut scored: Vec<(f32, usize)> = (0..users.len())
+        .filter(|&j| j != i)
+        .map(|j| {
+            let homophily = cosine(&users[i].interests, &users[j].interests);
+            let follow_back = if graph.follows(users[j].id, u) { follow_back_bonus } else { 0.0 };
+            // Real follow graphs are language-assortative: people mostly
+            // follow accounts they can read.
+            let same_lang = if users[i].language == users[j].language { 0.35 } else { 0.0 };
+            // Substantial jitter keeps feeds diverse: real users follow
+            // plenty of accounts outside their core interests (news,
+            // celebrities, acquaintances), which is what makes a feed's
+            // never-retweeted items separable from its retweeted ones.
+            let jitter: f32 = rng.gen_range(0.0..1.0);
+            (homophily + follow_back + same_lang + jitter, j)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_text::Language;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mk_users(n: usize, seed: u64) -> Vec<User> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let interests = crate::interests::dirichlet(&mut rng, 8, 0.2);
+                User {
+                    id: UserId(i as u32),
+                    handle: format!("u{i}"),
+                    interests,
+                    language: Language::English,
+                    secondary_language: Language::English,
+                    planned_tweets: 20 + (i % 7) * 10,
+                    planned_retweets: 10 + (i % 5) * 5,
+                    planned_incoming: 60 + (i % 11) * 40,
+                    band: 0,
+                    is_background: i % 3 == 0,
+                    style_tokens: Vec::new(),
+                    chatter_topics: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn edges_are_idempotent_and_loop_free() {
+        let mut g = SocialGraph::with_users(3);
+        g.add_edge(UserId(0), UserId(1));
+        g.add_edge(UserId(0), UserId(1));
+        g.add_edge(UserId(2), UserId(2));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.follows(UserId(0), UserId(1)));
+        assert!(!g.follows(UserId(1), UserId(0)));
+        assert!(!g.follows(UserId(2), UserId(2)));
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = SocialGraph::with_users(2);
+        g.add_edge(UserId(0), UserId(1));
+        g.remove_edge(UserId(0), UserId(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.followers(UserId(1)).is_empty());
+    }
+
+    #[test]
+    fn reciprocal_is_intersection() {
+        let mut g = SocialGraph::with_users(3);
+        g.add_edge(UserId(0), UserId(1));
+        g.add_edge(UserId(1), UserId(0));
+        g.add_edge(UserId(0), UserId(2));
+        assert_eq!(g.reciprocal(UserId(0)), vec![UserId(1)]);
+    }
+
+    #[test]
+    fn build_meets_paper_filters() {
+        let users = mk_users(30, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = SocialGraph::build(&mut rng, &users);
+        for u in users.iter().filter(|u| !u.is_background) {
+            assert!(g.followees(u.id).len() >= 3, "user {:?} has too few followees", u.id);
+            assert!(g.followers(u.id).len() >= 3, "user {:?} has too few followers", u.id);
+            assert!(!g.reciprocal(u.id).is_empty(), "user {:?} has no reciprocal", u.id);
+        }
+    }
+
+    #[test]
+    fn build_tracks_incoming_targets() {
+        let users = mk_users(40, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = SocialGraph::build(&mut rng, &users);
+        // Incoming volume should correlate with the plan: evaluated users
+        // with large targets end up with more feed traffic than users with
+        // small ones.
+        let feed = |u: &User| -> usize {
+            g.followees(u.id).iter().map(|v| users[v.index()].planned_outgoing()).sum()
+        };
+        let mut evaluated: Vec<&User> = users.iter().filter(|u| !u.is_background).collect();
+        evaluated.sort_by_key(|u| u.planned_incoming);
+        let k = evaluated.len() / 3;
+        let small_avg: f64 =
+            evaluated[..k].iter().map(|u| feed(u) as f64).sum::<f64>() / k as f64;
+        let large_avg: f64 = evaluated[evaluated.len() - k..]
+            .iter()
+            .map(|u| feed(u) as f64)
+            .sum::<f64>()
+            / k as f64;
+        assert!(
+            large_avg > small_avg,
+            "large-feed users should receive more: {large_avg} vs {small_avg}"
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let users = mk_users(20, 5);
+        let g1 = SocialGraph::build(&mut StdRng::seed_from_u64(6), &users);
+        let g2 = SocialGraph::build(&mut StdRng::seed_from_u64(6), &users);
+        for u in &users {
+            assert_eq!(g1.followees(u.id), g2.followees(u.id));
+        }
+    }
+}

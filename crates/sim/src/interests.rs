@@ -1,0 +1,156 @@
+//! User interest profiles.
+//!
+//! Interests are sparse Dirichlet-distributed topic mixtures: a small
+//! concentration parameter makes each user care about a handful of topics,
+//! which is what gives content-based recommendation signal to recover.
+
+use rand::Rng;
+
+/// Draw a symmetric Dirichlet(α) sample of dimension `k` via normalized
+/// Gamma(α, 1) variates (Marsaglia–Tsang for α ≥ 1, boosting for α < 1).
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f32> {
+    assert!(k > 0, "dimension must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut sample: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = sample.iter().sum();
+    if sum <= f64::MIN_POSITIVE {
+        // Degenerate draw (all ~0, possible for tiny α): fall back to a
+        // point mass on a uniformly chosen topic.
+        let winner = rng.gen_range(0..k);
+        sample.iter_mut().for_each(|v| *v = 0.0);
+        sample[winner] = 1.0;
+        return sample.into_iter().map(|v| v as f32).collect();
+    }
+    sample.into_iter().map(|v| (v / sum) as f32).collect()
+}
+
+/// Gamma(shape, 1) sampler (Marsaglia & Tsang 2000).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0);
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Cosine similarity of two dense interest vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Sample a topic index from a dense distribution.
+pub fn sample_topic<R: Rng + ?Sized>(rng: &mut R, dist: &[f32]) -> usize {
+    let total: f32 = dist.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..dist.len().max(1));
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in dist.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    dist.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for alpha in [0.05, 0.5, 1.0, 5.0] {
+            let d = dirichlet(&mut rng, 20, alpha);
+            let sum: f32 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "alpha={alpha} sum={sum}");
+            assert!(d.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut top_small = 0.0;
+        let mut top_large = 0.0;
+        for _ in 0..50 {
+            let d = dirichlet(&mut rng, 30, 0.05);
+            top_small += d.iter().cloned().fold(0.0f32, f32::max);
+            let d = dirichlet(&mut rng, 30, 5.0);
+            top_large += d.iter().cloned().fold(0.0f32, f32::max);
+        }
+        assert!(top_small > top_large, "sparse draws should have larger max mass");
+    }
+
+    #[test]
+    fn gamma_has_roughly_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for shape in [0.5, 1.0, 3.0, 10.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape={shape} empirical mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn sample_topic_respects_point_mass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = vec![0.0, 0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(sample_topic(&mut rng, &dist), 2);
+        }
+    }
+
+    #[test]
+    fn sample_topic_covers_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = vec![0.5, 0.5];
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[sample_topic(&mut rng, &dist)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,397 @@
+//! Synthetic language models.
+//!
+//! Every language in the simulated world owns a vocabulary with three strata:
+//!
+//! * **common words** — topic-neutral filler following a Zipf-like frequency
+//!   profile, seeded with the language's real function words so that the
+//!   `pmr-text` detector genuinely recovers the language from surface text;
+//! * **topic words** — per-topic content vocabulary (the recommendation
+//!   signal);
+//! * **topic phrases** — multi-word collocations with a fixed word order.
+//!   These reward representation models that capture local and global
+//!   context (token n-grams and n-gram graphs), mirroring the paper's
+//!   finding that word order carries information topic models discard.
+//!
+//! Scripts are faithful to the real languages: Japanese text is written in
+//! kana without spaces, Chinese in CJK ideographs without spaces, Thai in
+//! Thai script without spaces, Korean in Hangul with spaces, and the Latin
+//! languages in ASCII plus their signature diacritics (challenge C3).
+
+use rand::Rng;
+
+use pmr_text::lang::{function_words, signature_chars};
+use pmr_text::Language;
+
+/// A generated language: vocabulary strata plus per-topic hashtags.
+#[derive(Debug, Clone)]
+pub struct LanguageModel {
+    /// The language this model renders.
+    pub language: Language,
+    /// Topic-neutral words, ordered from most to least frequent.
+    pub common: Vec<String>,
+    /// `topic_words[k]` = content words of topic `k`.
+    pub topic_words: Vec<Vec<String>>,
+    /// `phrases[k]` = fixed-order collocations (2–3 words) of topic `k`.
+    pub phrases: Vec<Vec<Vec<String>>>,
+    /// `headlines[k]` = full 5–8 word sentences of topic `k`, repeated
+    /// verbatim across tweets (news headlines, memes).
+    pub headlines: Vec<Vec<Vec<String>>>,
+    /// `hashtags[k]` = hashtag surface forms correlated with topic `k`.
+    pub hashtags: Vec<Vec<String>>,
+}
+
+impl LanguageModel {
+    /// Generate a language model with `num_topics` topics.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        language: Language,
+        num_topics: usize,
+        common_words: usize,
+        topic_words: usize,
+        phrases_per_topic: usize,
+    ) -> Self {
+        Self::generate_with_headlines(
+            rng,
+            language,
+            num_topics,
+            common_words,
+            topic_words,
+            phrases_per_topic,
+            phrases_per_topic / 2,
+        )
+    }
+
+    /// [`LanguageModel::generate`] with an explicit headline count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_with_headlines<R: Rng + ?Sized>(
+        rng: &mut R,
+        language: Language,
+        num_topics: usize,
+        common_words: usize,
+        topic_words: usize,
+        phrases_per_topic: usize,
+        headlines_per_topic: usize,
+    ) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut common: Vec<String> =
+            function_words(language).iter().map(|w| (*w).to_owned()).collect();
+        for w in &common {
+            seen.insert(w.clone());
+        }
+        while common.len() < common_words {
+            let w = synth_word(rng, language);
+            if seen.insert(w.clone()) {
+                common.push(w);
+            }
+        }
+        // Polysemy: a shared content pool supplies a slice of every topic's
+        // vocabulary, so single words are ambiguous across topics while
+        // *sequences* (phrases, headlines) remain topic-specific — the
+        // property of real language that rewards context-aware models.
+        let shared_pool_size = (topic_words * num_topics) / 4;
+        let mut shared_pool: Vec<String> = Vec::with_capacity(shared_pool_size);
+        while shared_pool.len() < shared_pool_size {
+            let w = synth_word(rng, language);
+            if seen.insert(w.clone()) {
+                shared_pool.push(w);
+            }
+        }
+        let mut topic_word_table = Vec::with_capacity(num_topics);
+        for _ in 0..num_topics {
+            let unique_share = topic_words - topic_words * 2 / 5;
+            let mut words = Vec::with_capacity(topic_words);
+            while words.len() < unique_share {
+                let w = synth_word(rng, language);
+                if seen.insert(w.clone()) {
+                    words.push(w);
+                }
+            }
+            while words.len() < topic_words {
+                let w = shared_pool[rng.gen_range(0..shared_pool.len())].clone();
+                if !words.contains(&w) {
+                    words.push(w);
+                }
+            }
+            topic_word_table.push(words);
+        }
+        let phrases = topic_word_table
+            .iter()
+            .map(|words| {
+                (0..phrases_per_topic)
+                    .map(|_| {
+                        // Real collocations span 2–5 tokens ("new york",
+                        // "grand central station", "i can't believe it's
+                        // not…"); the longer ones are what give
+                        // higher-order n-gram models shared context.
+                        let len = rng.gen_range(2..=5);
+                        (0..len).map(|_| words[rng.gen_range(0..words.len())].clone()).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let headlines: Vec<Vec<Vec<String>>> = topic_word_table
+            .iter()
+            .map(|words| {
+                (0..headlines_per_topic)
+                    .map(|_| {
+                        let len = rng.gen_range(5..=8);
+                        (0..len)
+                            .map(|_| {
+                                // Mostly topic words with the occasional
+                                // common word, like a real headline.
+                                if rng.gen_bool(0.8) {
+                                    words[rng.gen_range(0..words.len())].clone()
+                                } else {
+                                    common[rng.gen_range(0..common.len().min(40))].clone()
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let hashtags = topic_word_table
+            .iter()
+            .map(|words| {
+                let n = 3.min(words.len());
+                (0..n).map(|i| format!("#{}", ascii_fold(&words[i]))).collect()
+            })
+            .collect();
+        LanguageModel { language, common, topic_words: topic_word_table, phrases, hashtags, headlines }
+    }
+
+    /// Draw a common word with a Zipf-like bias toward the head of the list.
+    pub fn common_word<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> &'a str {
+        let n = self.common.len();
+        debug_assert!(n > 0);
+        // Inverse-CDF of a 1/(r+1) profile: cheap and head-heavy.
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let idx = ((n as f64 + 1.0).powf(u) - 1.0) as usize;
+        &self.common[idx.min(n - 1)]
+    }
+
+    /// Draw a content word of topic `k`, head-biased.
+    pub fn topic_word<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> &'a str {
+        let words = &self.topic_words[k];
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let idx = ((words.len() as f64 + 1.0).powf(u) - 1.0) as usize;
+        &words[idx.min(words.len() - 1)]
+    }
+
+    /// Draw a collocation of topic `k`.
+    pub fn phrase<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> &'a [String] {
+        let ps = &self.phrases[k];
+        &ps[rng.gen_range(0..ps.len())]
+    }
+
+    /// Draw a verbatim headline of topic `k` (empty slice when the model
+    /// was built without headlines).
+    pub fn headline<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> &'a [String] {
+        let hs = &self.headlines[k];
+        if hs.is_empty() {
+            return &[];
+        }
+        &hs[rng.gen_range(0..hs.len())]
+    }
+
+    /// Draw a hashtag of topic `k`.
+    pub fn hashtag<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, k: usize) -> &'a str {
+        let hs = &self.hashtags[k];
+        &hs[rng.gen_range(0..hs.len())]
+    }
+}
+
+/// Fold a word to ASCII for hashtag surface forms (hashtags on Twitter are
+/// predominantly ASCII even in non-Latin tweets).
+fn ascii_fold(word: &str) -> String {
+    let folded: String = word.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+    if folded.is_empty() {
+        // Non-Latin scripts: derive a stable ASCII tag from the code points.
+        let mut h: u32 = 0;
+        for c in word.chars() {
+            h = h.wrapping_mul(31).wrapping_add(c as u32);
+        }
+        format!("tag{}", h % 100_000)
+    } else {
+        folded
+    }
+}
+
+/// Synthesize a single word in the given language's script.
+pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
+    match language {
+        Language::Japanese => {
+            // Hiragana syllables.
+            const KANA: &[char] = &[
+                'あ', 'い', 'う', 'え', 'お', 'か', 'き', 'く', 'け', 'こ', 'さ', 'し', 'す',
+                'せ', 'そ', 'た', 'ち', 'つ', 'て', 'と', 'な', 'に', 'ぬ', 'ね', 'の', 'は',
+                'ひ', 'ふ', 'へ', 'ほ', 'ま', 'み', 'む', 'め', 'も', 'や', 'ゆ', 'よ', 'ら',
+                'り', 'る', 'れ', 'ろ', 'わ', 'ん',
+            ];
+            (0..rng.gen_range(2..5)).map(|_| KANA[rng.gen_range(0..KANA.len())]).collect()
+        }
+        Language::Chinese => {
+            // CJK Unified Ideographs from a compact frequent-range slice.
+            (0..rng.gen_range(1..4))
+                .map(|_| char::from_u32(0x4E00 + rng.gen_range(0..2000)).expect("valid CJK"))
+                .collect()
+        }
+        Language::Korean => {
+            // Precomposed Hangul syllables.
+            (0..rng.gen_range(1..4))
+                .map(|_| char::from_u32(0xAC00 + rng.gen_range(0..2000)).expect("valid Hangul"))
+                .collect()
+        }
+        Language::Thai => {
+            const THAI: &[char] = &[
+                'ก', 'ข', 'ค', 'ง', 'จ', 'ฉ', 'ช', 'ซ', 'ญ', 'ด', 'ต', 'ถ', 'ท', 'ธ', 'น',
+                'บ', 'ป', 'ผ', 'ฝ', 'พ', 'ฟ', 'ภ', 'ม', 'ย', 'ร', 'ล', 'ว', 'ศ', 'ส', 'ห',
+                'อ', 'ฮ', 'า', 'ิ', 'ี', 'ุ', 'ู', 'เ', 'แ', 'โ', 'ไ',
+            ];
+            (0..rng.gen_range(2..6)).map(|_| THAI[rng.gen_range(0..THAI.len())]).collect()
+        }
+        latin => {
+            let mut w = latin_word(rng);
+            let sigs = signature_chars(latin);
+            if !sigs.is_empty() && rng.gen_bool(0.35) {
+                // Replace a random vowel with a signature diacritic so the
+                // detector has something to key on, as real orthography does.
+                let pos = rng.gen_range(0..w.chars().count());
+                let sig = sigs[rng.gen_range(0..sigs.len())];
+                w = w
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| if i == pos { sig } else { c })
+                    .collect();
+            }
+            w
+        }
+    }
+}
+
+/// A pronounceable ASCII word from onset–nucleus(–coda) syllables.
+///
+/// The onset inventory includes consonant clusters and the nucleus includes
+/// diphthongs so that the character n-gram space is rich, as in real
+/// orthography — with a tiny syllable inventory, character 4-grams would
+/// collide across topics far more than they do in natural language,
+/// unfairly crippling the character-based models.
+fn latin_word<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const ONSETS: &[&str] = &[
+        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w",
+        "z", "br", "ch", "cl", "cr", "dr", "fl", "gr", "kl", "pl", "pr", "qu", "sh", "sk",
+        "sl", "sp", "st", "th", "tr",
+    ];
+    const NUCLEI: &[&str] =
+        &["a", "e", "i", "o", "u", "ai", "au", "ea", "ei", "ia", "ie", "oa", "ou"];
+    const CODAS: &[&str] = &["", "", "", "n", "r", "s", "t", "l", "m", "x"];
+    let syllables = rng.gen_range(2..=3);
+    let mut w = String::with_capacity(syllables * 4);
+    for i in 0..syllables {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+        // Codas only close the final syllable, keeping words pronounceable.
+        if i == syllables - 1 {
+            w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(lang: Language) -> LanguageModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        LanguageModel::generate(&mut rng, lang, 4, 30, 10, 5)
+    }
+
+    #[test]
+    fn strata_have_requested_sizes() {
+        let m = model(Language::English);
+        assert_eq!(m.common.len(), 30);
+        assert_eq!(m.topic_words.len(), 4);
+        assert!(m.topic_words.iter().all(|t| t.len() == 10));
+        assert!(m.phrases.iter().all(|p| p.len() == 5));
+        assert!(m.hashtags.iter().all(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn function_words_lead_the_common_stratum() {
+        let m = model(Language::English);
+        assert!(m.common.contains(&"the".to_owned()));
+        let m = model(Language::Portuguese);
+        assert!(m.common.contains(&"que".to_owned()));
+    }
+
+    #[test]
+    fn topic_vocabularies_are_polysemous_but_not_common() {
+        let m = model(Language::English);
+        // Polysemy: some words are shared across topics (drawn from the
+        // shared content pool), but common (function/filler) words never
+        // appear in topic vocabularies.
+        let mut seen = std::collections::HashSet::new();
+        let mut duplicates = 0;
+        for t in &m.topic_words {
+            // Within a topic, words are unique.
+            let unique: std::collections::HashSet<&String> = t.iter().collect();
+            assert_eq!(unique.len(), t.len(), "duplicate word inside a topic");
+            for w in t {
+                if !seen.insert(w.clone()) {
+                    duplicates += 1;
+                }
+            }
+        }
+        assert!(duplicates > 0, "topics should share some vocabulary (polysemy)");
+        for w in &m.common {
+            assert!(!seen.contains(w), "common word {w} leaked into topics");
+        }
+    }
+
+    #[test]
+    fn scripts_match_languages() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let jp = synth_word(&mut rng, Language::Japanese);
+        assert!(jp.chars().all(|c| ('\u{3040}'..='\u{30FF}').contains(&c)));
+        let zh = synth_word(&mut rng, Language::Chinese);
+        assert!(zh.chars().all(|c| ('\u{4E00}'..='\u{9FFF}').contains(&c)));
+        let ko = synth_word(&mut rng, Language::Korean);
+        assert!(ko.chars().all(|c| ('\u{AC00}'..='\u{D7AF}').contains(&c)));
+        let th = synth_word(&mut rng, Language::Thai);
+        assert!(th.chars().all(|c| ('\u{0E00}'..='\u{0E7F}').contains(&c)));
+        let en = synth_word(&mut rng, Language::English);
+        assert!(en.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn hashtags_are_ascii_with_marker() {
+        for lang in [Language::English, Language::Japanese, Language::Thai] {
+            let m = model(lang);
+            for tags in &m.hashtags {
+                for tag in tags {
+                    assert!(tag.starts_with('#'));
+                    assert!(tag[1..].chars().all(|c| c.is_ascii_alphanumeric()), "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_draws_are_head_heavy() {
+        let m = model(Language::English);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut head = 0;
+        let n = 3000;
+        for _ in 0..n {
+            let w = m.common_word(&mut rng);
+            let idx = m.common.iter().position(|c| c == w).unwrap();
+            if idx < m.common.len() / 3 {
+                head += 1;
+            }
+        }
+        assert!(head * 2 > n, "expected >half of draws from the top third, got {head}/{n}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # pmr-sim
+//!
+//! Synthetic Twitter substrate for content-based personalized microblog
+//! recommendation experiments.
+//!
+//! The EDBT 2019 study runs on a gated dataset: ~30% of the public Twitter
+//! firehose for Jun–Dec 2009 joined with the KAIST WWW 2010 social-graph
+//! snapshot. Neither is redistributable, so this crate *simulates* the
+//! closest synthetic equivalent that exercises the same code paths:
+//!
+//! * a **social graph** with unilateral follow edges and reciprocal
+//!   connections, shaped by interest similarity and popularity
+//!   ([`graph`]);
+//! * **users** with latent interest profiles, posting-activity targets and
+//!   dominant languages ([`user`], [`interests`]);
+//! * **multilingual short texts** with the four Twitter challenges of the
+//!   paper — sparsity (C1), noise (C2), multilingualism incl. scripts
+//!   without word separators (C3), and non-standard language: elongation,
+//!   hashtags, mentions, URLs, emoticons (C4) ([`language`], [`textgen`]);
+//! * an **interest-driven retweet process**: the probability that a user
+//!   reposts an incoming tweet grows with the similarity between her latent
+//!   interests and the tweet's latent topic mixture ([`generate`]). This is
+//!   the mechanism that makes "relevant = retweeted" (the paper's evaluation
+//!   assumption) hold *by construction*, so content-based rankers are
+//!   rewarded exactly insofar as they recover user interests;
+//! * the paper's **user-type partitioning** (IS / BU / IP / All Users) via
+//!   posting ratios ([`usertype`]) and the **dataset statistics** of its
+//!   Table 2 ([`stats`]).
+//!
+//! Everything is deterministic given a seed. Scale is configurable; the
+//! default is laptop-sized (×~25 smaller than the paper's 2.07M tweets) and
+//! `ScalePreset::Full` approaches the paper's magnitudes.
+
+pub mod config;
+pub mod corpus;
+pub mod generate;
+pub mod graph;
+pub mod interests;
+pub mod language;
+pub mod stats;
+pub mod textgen;
+pub mod tweet;
+pub mod user;
+pub mod usertype;
+
+pub use config::{ScalePreset, SimConfig};
+pub use corpus::Corpus;
+pub use generate::generate_corpus;
+pub use graph::SocialGraph;
+pub use stats::{GroupStats, Table2};
+pub use tweet::{Timestamp, Tweet, TweetId};
+pub use user::{User, UserId};
+pub use usertype::{partition_users, PostingRatio, UserGroup, UserType};

@@ -1,0 +1,231 @@
+//! Dataset statistics — the paper's Table 2 and Table 3.
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::{clean, lang, Language};
+
+use crate::corpus::Corpus;
+use crate::usertype::{Partition, UserGroup};
+
+/// Min/mean/max of a per-user quantity plus its group total, as reported in
+/// every block of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeStats {
+    /// Sum over the group's users.
+    pub total: usize,
+    /// Minimum per user.
+    pub min: usize,
+    /// Mean per user.
+    pub mean: f64,
+    /// Maximum per user.
+    pub max: usize,
+}
+
+impl VolumeStats {
+    fn from_counts(counts: &[usize]) -> VolumeStats {
+        if counts.is_empty() {
+            return VolumeStats { total: 0, min: 0, mean: 0.0, max: 0 };
+        }
+        let total: usize = counts.iter().sum();
+        VolumeStats {
+            total,
+            min: *counts.iter().min().expect("nonempty"),
+            mean: total as f64 / counts.len() as f64,
+            max: *counts.iter().max().expect("nonempty"),
+        }
+    }
+}
+
+/// One column of Table 2: the statistics of a user group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// The group.
+    pub group: UserGroup,
+    /// Number of users in the group.
+    pub users: usize,
+    /// Outgoing tweets `R ∪ T`.
+    pub outgoing: VolumeStats,
+    /// Retweets `R`.
+    pub retweets: VolumeStats,
+    /// Incoming tweets `E`.
+    pub incoming: VolumeStats,
+    /// Followers' tweets `F`.
+    pub followers_tweets: VolumeStats,
+}
+
+/// The full Table 2: one [`GroupStats`] per experiment group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Columns in the paper's order: IS, BU, IP, All Users.
+    pub groups: Vec<GroupStats>,
+}
+
+impl Table2 {
+    /// Compute the table for a corpus under a measured partition.
+    pub fn compute(corpus: &Corpus, partition: &Partition) -> Table2 {
+        let order = [UserGroup::IS, UserGroup::BU, UserGroup::IP, UserGroup::All];
+        let groups = order
+            .into_iter()
+            .map(|g| {
+                let members = partition.members(g);
+                let outgoing: Vec<usize> =
+                    members.iter().map(|&u| corpus.outgoing_of(u).len()).collect();
+                let retweets: Vec<usize> =
+                    members.iter().map(|&u| corpus.retweets_of(u).len()).collect();
+                let incoming: Vec<usize> =
+                    members.iter().map(|&u| corpus.incoming_of(u).len()).collect();
+                let followers: Vec<usize> =
+                    members.iter().map(|&u| corpus.followers_tweets_of(u).len()).collect();
+                GroupStats {
+                    group: g,
+                    users: members.len(),
+                    outgoing: VolumeStats::from_counts(&outgoing),
+                    retweets: VolumeStats::from_counts(&retweets),
+                    incoming: VolumeStats::from_counts(&incoming),
+                    followers_tweets: VolumeStats::from_counts(&followers),
+                }
+            })
+            .collect();
+        Table2 { groups }
+    }
+
+    /// The column for one group.
+    pub fn group(&self, g: UserGroup) -> &GroupStats {
+        self.groups.iter().find(|s| s.group == g).expect("all four groups are computed")
+    }
+}
+
+/// One row of Table 3: a language with its tweet count and relative
+/// frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LanguageRow {
+    /// The detected language.
+    pub language: Language,
+    /// Number of tweets assigned to it.
+    pub tweets: usize,
+    /// Share of the whole corpus.
+    pub relative_frequency: f64,
+}
+
+/// Table 3: language distribution via the paper's pipeline — clean every
+/// tweet of Twitter markup, pool per user, detect the user's prevalent
+/// language, and assign all the user's tweets to it.
+pub fn language_distribution(corpus: &Corpus) -> Vec<LanguageRow> {
+    let tokenizer = pmr_text::Tokenizer::default();
+    let mut counts: std::collections::HashMap<Language, usize> = std::collections::HashMap::new();
+    let total = corpus.len();
+    for u in corpus.user_ids() {
+        let own: Vec<crate::tweet::TweetId> = corpus.outgoing_of(u);
+        let cleaned: Vec<String> = own
+            .iter()
+            .map(|&id| clean::clean_with(&tokenizer, &corpus.tweet(id).text))
+            .collect();
+        let pooled = cleaned.join(" ");
+        let detected = lang::detect_language(&pooled);
+        *counts.entry(detected).or_insert(0) += own.len();
+    }
+    // Tweets are assigned per author; the corpus total is the denominator,
+    // as in the paper's "91% of all tweets" framing.
+    let mut rows: Vec<LanguageRow> = counts
+        .into_iter()
+        .map(|(language, tweets)| LanguageRow {
+            language,
+            tweets,
+            relative_frequency: tweets as f64 / total as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.tweets.cmp(&a.tweets).then(a.language.cmp(&b.language)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ScalePreset, SimConfig};
+    use crate::generate::generate_corpus;
+    use crate::usertype::partition_users;
+
+    fn setup() -> (Corpus, Partition) {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+        let partition = partition_users(&corpus);
+        (corpus, partition)
+    }
+
+    #[test]
+    fn volume_stats_are_consistent() {
+        let counts = [4usize, 10, 7];
+        let v = VolumeStats::from_counts(&counts);
+        assert_eq!(v.total, 21);
+        assert_eq!(v.min, 4);
+        assert_eq!(v.max, 10);
+        assert!((v.mean - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counts_are_zero() {
+        let v = VolumeStats::from_counts(&[]);
+        assert_eq!(v.total, 0);
+        assert_eq!(v.mean, 0.0);
+    }
+
+    #[test]
+    fn table2_has_the_papers_shape() {
+        let (corpus, partition) = setup();
+        let t2 = Table2::compute(&corpus, &partition);
+        assert_eq!(t2.groups.len(), 4);
+        assert_eq!(t2.group(UserGroup::IS).users, 20);
+        assert_eq!(t2.group(UserGroup::BU).users, 20);
+        assert_eq!(t2.group(UserGroup::All).users, 60);
+        // Structural relations from the paper's data: IS users receive far
+        // more than they post; IP users the reverse.
+        let is = t2.group(UserGroup::IS);
+        assert!(is.incoming.total > is.outgoing.total * 3);
+        let ip = t2.group(UserGroup::IP);
+        assert!(ip.outgoing.total > ip.incoming.total);
+        // Retweets are a subset of outgoing.
+        for g in &t2.groups {
+            assert!(g.retweets.total <= g.outgoing.total);
+        }
+    }
+
+    #[test]
+    fn all_users_totals_cover_named_groups() {
+        let (corpus, partition) = setup();
+        let t2 = Table2::compute(&corpus, &partition);
+        let named: usize = [UserGroup::IS, UserGroup::BU, UserGroup::IP]
+            .iter()
+            .map(|&g| t2.group(g).outgoing.total)
+            .sum();
+        assert!(t2.group(UserGroup::All).outgoing.total >= named);
+    }
+
+    #[test]
+    fn language_distribution_is_english_dominant() {
+        let (corpus, _) = setup();
+        let rows = language_distribution(&corpus);
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0].language, Language::English);
+        assert!(rows[0].relative_frequency > 0.5, "{}", rows[0].relative_frequency);
+        let covered: f64 = rows.iter().map(|r| r.relative_frequency).sum();
+        assert!(covered <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn language_detection_recovers_ground_truth_for_most_users() {
+        let (corpus, _) = setup();
+        let tokenizer = pmr_text::Tokenizer::default();
+        let mut correct = 0;
+        for u in corpus.users.iter().filter(|u| !u.is_background) {
+            let own = corpus.outgoing_of(u.id);
+            let pooled: Vec<String> = own
+                .iter()
+                .map(|&id| clean::clean_with(&tokenizer, &corpus.tweet(id).text))
+                .collect();
+            let detected = lang::detect_language(&pooled.join(" "));
+            if detected == u.language {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 48, "language detector recovered only {correct}/60 users");
+    }
+}

@@ -1,0 +1,221 @@
+//! Tweet text generation.
+//!
+//! A tweet is rendered from a latent topic (drawn from the author's
+//! interests) in the author's language, with the paper's four Twitter
+//! challenges injected:
+//!
+//! * **C1 sparsity** — 6–18 tokens per tweet;
+//! * **C2 noise** — random misspellings (adjacent transposition or character
+//!   duplication);
+//! * **C3 multilingualism** — the ten languages of Table 3, three of which
+//!   are rendered without word separators;
+//! * **C4 non-standard language** — emphatic lengthening, hashtags,
+//!   mentions, URLs and emoticons.
+
+use rand::Rng;
+
+use pmr_text::Language;
+
+use crate::config::SimConfig;
+use crate::language::LanguageModel;
+
+/// Emoticon surface forms sampled into tweets (a subset of the `pmr-text`
+/// lexicon, spanning all nine classes).
+const EMOTICONS: &[&str] = &[":)", ":(", ";)", ":d", "<3", ":o", ":/", ":s", "xd", ":-)", ":-("];
+
+/// Generate the surface text of one tweet.
+///
+/// `topic` is the latent topic the tweet is "about"; `mention` is an
+/// optional handle to open the tweet with (conversational tweets); `style`
+/// is the author's personal token pool, sprinkled in with
+/// [`SimConfig::p_author_style`].
+pub fn render_tweet<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &SimConfig,
+    model: &LanguageModel,
+    topic: usize,
+    mention: Option<&str>,
+    style: &[String],
+) -> String {
+    let len = rng.gen_range(cfg.tweet_len.0..=cfg.tweet_len.1);
+    let mut words: Vec<String> = Vec::with_capacity(len + 4);
+    // RT culture: some tweets quote a topic headline verbatim.
+    if rng.gen_bool(cfg.p_headline) {
+        words.extend(model.headline(rng, topic).iter().cloned());
+    }
+    while words.len() < len {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < cfg.p_phrase {
+            for w in model.phrase(rng, topic) {
+                words.push(w.clone());
+            }
+        } else if roll < cfg.p_phrase + cfg.p_topic_word {
+            words.push(model.topic_word(rng, topic).to_owned());
+        } else {
+            words.push(model.common_word(rng).to_owned());
+        }
+    }
+    // Never truncate mid-headline: keep at least the embedded quote.
+    if !style.is_empty() && rng.gen_bool(cfg.p_author_style) {
+        let tok = style[rng.gen_range(0..style.len())].clone();
+        let pos = rng.gen_range(0..=words.len());
+        words.insert(pos, tok);
+    }
+    // C2/C4 noise on individual words.
+    for w in words.iter_mut() {
+        if rng.gen_bool(cfg.p_noise) {
+            *w = noise_word(rng, w);
+        }
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(words.len() + 4);
+    if let Some(handle) = mention {
+        parts.push(format!("@{handle}"));
+    }
+    parts.push(join_words(&words, model.language));
+    if rng.gen_bool(cfg.p_url) {
+        parts.push(format!("http://t.co/{}", random_slug(rng)));
+    }
+    if rng.gen_bool(cfg.p_hashtag) {
+        parts.push(model.hashtag(rng, topic).to_owned());
+        if rng.gen_bool(0.3) {
+            parts.push(model.hashtag(rng, topic).to_owned());
+        }
+    }
+    if rng.gen_bool(cfg.p_emoticon) {
+        parts.push(EMOTICONS[rng.gen_range(0..EMOTICONS.len())].to_owned());
+    }
+    parts.join(" ")
+}
+
+/// Join content words according to the language's script conventions:
+/// space-separated for most languages, concatenated for Chinese, Japanese
+/// and Thai (challenge C3).
+fn join_words(words: &[String], language: Language) -> String {
+    if language.uses_spaces() {
+        words.join(" ")
+    } else {
+        words.concat()
+    }
+}
+
+/// Apply one unit of noise to a word: adjacent transposition, character
+/// duplication, or emphatic lengthening of the final character.
+fn noise_word<R: Rng + ?Sized>(rng: &mut R, word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 2 {
+        return word.to_owned();
+    }
+    match rng.gen_range(0..3) {
+        0 => {
+            // Transpose two adjacent characters.
+            let i = rng.gen_range(0..chars.len() - 1);
+            let mut c = chars.clone();
+            c.swap(i, i + 1);
+            c.into_iter().collect()
+        }
+        1 => {
+            // Duplicate one character.
+            let i = rng.gen_range(0..chars.len());
+            let mut c = chars.clone();
+            c.insert(i, chars[i]);
+            c.into_iter().collect()
+        }
+        _ => {
+            // Emphatic lengthening: repeat the last character 2–4 extra times.
+            let mut c = chars.clone();
+            let last = *c.last().expect("len >= 2");
+            for _ in 0..rng.gen_range(2..=4) {
+                c.push(last);
+            }
+            c.into_iter().collect()
+        }
+    }
+}
+
+/// Random 6-character URL slug.
+fn random_slug<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..6).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScalePreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(lang: Language) -> (SimConfig, LanguageModel, StdRng) {
+        let cfg = SimConfig::preset(ScalePreset::Smoke, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = LanguageModel::generate(&mut rng, lang, cfg.num_topics, 50, 20, 6);
+        (cfg, model, rng)
+    }
+
+    #[test]
+    fn renders_nonempty_text() {
+        let (cfg, model, mut rng) = setup(Language::English);
+        for topic in 0..4 {
+            let t = render_tweet(&mut rng, &cfg, &model, topic, None, &[]);
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn mention_leads_the_tweet() {
+        let (cfg, model, mut rng) = setup(Language::English);
+        let t = render_tweet(&mut rng, &cfg, &model, 0, Some("alice"), &[]);
+        assert!(t.starts_with("@alice "), "got: {t}");
+    }
+
+    #[test]
+    fn no_space_scripts_concatenate() {
+        let (mut cfg, model, mut rng) = setup(Language::Japanese);
+        // Force pure word content for the assertion.
+        cfg.p_url = 0.0;
+        cfg.p_hashtag = 0.0;
+        cfg.p_emoticon = 0.0;
+        cfg.p_noise = 0.0;
+        let t = render_tweet(&mut rng, &cfg, &model, 0, None, &[]);
+        assert!(!t.contains(' '), "Japanese words must not be space-separated: {t}");
+    }
+
+    #[test]
+    fn topic_words_appear_for_their_topic() {
+        let (mut cfg, model, mut rng) = setup(Language::English);
+        cfg.p_noise = 0.0;
+        let t = render_tweet(&mut rng, &cfg, &model, 2, None, &[]);
+        let topic2: std::collections::HashSet<&str> =
+            model.topic_words[2].iter().map(|s| s.as_str()).collect();
+        let hits = t.split_whitespace().filter(|w| topic2.contains(w)).count();
+        assert!(hits > 0, "expected topic-2 vocabulary in: {t}");
+    }
+
+    #[test]
+    fn style_tokens_appear() {
+        let (mut cfg, model, mut rng) = setup(Language::English);
+        cfg.p_author_style = 1.0;
+        cfg.p_noise = 0.0;
+        let style = vec!["zzyzx".to_owned()];
+        let t = render_tweet(&mut rng, &cfg, &model, 0, None, &style);
+        assert!(t.contains("zzyzx"), "style token missing: {t}");
+    }
+
+    #[test]
+    fn noise_changes_words() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if noise_word(&mut rng, "example") != "example" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40);
+    }
+
+    #[test]
+    fn noise_preserves_single_chars() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(noise_word(&mut rng, "a"), "a");
+    }
+}

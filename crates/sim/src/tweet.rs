@@ -1,0 +1,76 @@
+//! Tweet and identifier types.
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::Language;
+
+use crate::user::UserId;
+
+/// Dense tweet identifier (index into [`crate::Corpus::tweets`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TweetId(pub u32);
+
+impl TweetId {
+    /// The tweet's index in the corpus table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Abstract simulation time. Monotone within a user's timeline; the paper
+/// only ever uses timestamps for ordering (recency split, CHR baseline), so
+/// units are irrelevant.
+pub type Timestamp = u64;
+
+/// A single microblog post.
+///
+/// `topics` is the *generative ground truth* — the latent topic mixture the
+/// text was produced from. It exists so the simulator's retweet decision and
+/// the test suite can measure interest alignment; representation models must
+/// never read it (they only see `text`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Identifier, equal to the tweet's index in the corpus table.
+    pub id: TweetId,
+    /// The posting user. For a retweet this is the *reposter*.
+    pub author: UserId,
+    /// Posting time.
+    pub timestamp: Timestamp,
+    /// Raw surface text, as a representation model would receive it.
+    pub text: String,
+    /// `Some(original)` if this post is a retweet of `original`.
+    pub retweet_of: Option<TweetId>,
+    /// Ground-truth latent topic mixture (simulator-private; see above).
+    pub topics: Vec<(usize, f32)>,
+    /// Ground-truth language the text was generated in (simulator-private;
+    /// the `pmr-text` detector must *recover* languages from `text`).
+    pub language: Language,
+}
+
+impl Tweet {
+    /// Whether this post is a retweet.
+    pub fn is_retweet(&self) -> bool {
+        self.retweet_of.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retweet_flag_follows_origin() {
+        let t = Tweet {
+            id: TweetId(0),
+            author: UserId(0),
+            timestamp: 0,
+            text: String::new(),
+            retweet_of: None,
+            topics: vec![],
+            language: Language::English,
+        };
+        assert!(!t.is_retweet());
+        let rt = Tweet { retweet_of: Some(TweetId(0)), ..t };
+        assert!(rt.is_retweet());
+    }
+}

@@ -1,0 +1,238 @@
+//! User categories: Information Seekers, Balanced Users, Information
+//! Producers (§2 and §4 of the paper).
+//!
+//! The paper quantifies posting behavior with the *posting ratio*
+//! `|R(u) ∪ T(u)| / |E(u)|` and builds four experiment groups:
+//!
+//! * **IS** — the 20 users with the lowest ratios (max 0.13 in their data);
+//! * **BU** — the 20 users with ratios closest to 1 (0.76–1.16);
+//! * **IP** — the users with ratios above 2 (9 in their data);
+//! * **All Users** — the 60 users of the dataset, including 11 users with
+//!   intermediate ratios that belong to no named group.
+//!
+//! [`partition_users`] applies the same procedure to a generated corpus; the
+//! partition is *measured*, not copied from the simulator's band metadata —
+//! a test asserts the two agree, but experiments only ever see the measured
+//! groups, exactly as the paper only ever sees observed ratios.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::user::UserId;
+
+/// The three behavioral categories of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserType {
+    /// Posting ratio < 0.5: receives at least twice what she posts.
+    InformationSeeker,
+    /// Posting ratio ≈ 1.
+    BalancedUser,
+    /// Posting ratio > 2: posts at least twice what she receives.
+    InformationProducer,
+}
+
+impl UserType {
+    /// Classify a raw posting ratio per the thresholds of §2. Ratios in the
+    /// gray zones (0.5–2 but not near 1) return `None` in the strict reading;
+    /// this method uses the inclusive reading where everything in (0.5, 2]
+    /// is balanced, which is only used for descriptive statistics — the
+    /// experiment groups come from [`partition_users`].
+    pub fn from_ratio(ratio: f64) -> UserType {
+        if ratio < 0.5 {
+            UserType::InformationSeeker
+        } else if ratio > 2.0 {
+            UserType::InformationProducer
+        } else {
+            UserType::BalancedUser
+        }
+    }
+}
+
+/// The four experiment groups of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UserGroup {
+    /// Information seekers (20 users).
+    IS,
+    /// Balanced users (20 users).
+    BU,
+    /// Information producers (ratio > 2; 9 users in the paper).
+    IP,
+    /// Everyone (60 users).
+    All,
+}
+
+impl UserGroup {
+    /// All groups, in the paper's reporting order.
+    pub const ALL: [UserGroup; 4] = [UserGroup::All, UserGroup::IS, UserGroup::BU, UserGroup::IP];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UserGroup::IS => "IS",
+            UserGroup::BU => "BU",
+            UserGroup::IP => "IP",
+            UserGroup::All => "All Users",
+        }
+    }
+}
+
+/// A user with her measured posting ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PostingRatio {
+    /// The user.
+    pub user: UserId,
+    /// `|R(u) ∪ T(u)| / |E(u)|`.
+    pub ratio: f64,
+}
+
+/// The measured partition of a corpus into experiment groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// The 20 lowest-ratio users.
+    pub is: Vec<UserId>,
+    /// The 20 users with ratios closest to 1 (after removing IS).
+    pub bu: Vec<UserId>,
+    /// Users with ratio > 2 (after removing IS and BU).
+    pub ip: Vec<UserId>,
+    /// Users in no named group (they still count toward All).
+    pub rest: Vec<UserId>,
+    /// Measured ratios for every user.
+    pub ratios: Vec<PostingRatio>,
+}
+
+impl Partition {
+    /// The members of an experiment group, in stable (id) order.
+    pub fn members(&self, group: UserGroup) -> Vec<UserId> {
+        let mut m = match group {
+            UserGroup::IS => self.is.clone(),
+            UserGroup::BU => self.bu.clone(),
+            UserGroup::IP => self.ip.clone(),
+            UserGroup::All => {
+                let mut all: Vec<UserId> = self
+                    .is
+                    .iter()
+                    .chain(&self.bu)
+                    .chain(&self.ip)
+                    .chain(&self.rest)
+                    .copied()
+                    .collect();
+                all.sort();
+                return all;
+            }
+        };
+        m.sort();
+        m
+    }
+
+    /// The measured ratio of a user.
+    pub fn ratio_of(&self, u: UserId) -> f64 {
+        self.ratios
+            .iter()
+            .find(|r| r.user == u)
+            .map(|r| r.ratio)
+            .expect("user belongs to the partitioned corpus")
+    }
+}
+
+/// Apply the paper's group-selection procedure (§4) to a corpus. Only the
+/// evaluated users participate; background users merely shape the graph.
+pub fn partition_users(corpus: &Corpus) -> Partition {
+    let mut ratios: Vec<PostingRatio> = corpus
+        .evaluated_user_ids()
+        .map(|u| PostingRatio { user: u, ratio: corpus.posting_ratio(u) })
+        .collect();
+    ratios.sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("ratios are finite").then(a.user.cmp(&b.user)));
+    let is: Vec<UserId> = ratios.iter().take(20).map(|r| r.user).collect();
+    let mut remaining: Vec<PostingRatio> = ratios.iter().skip(20).copied().collect();
+    remaining.sort_by(|a, b| {
+        (a.ratio - 1.0)
+            .abs()
+            .partial_cmp(&(b.ratio - 1.0).abs())
+            .expect("ratios are finite")
+            .then(a.user.cmp(&b.user))
+    });
+    let bu: Vec<UserId> = remaining.iter().take(20).map(|r| r.user).collect();
+    let mut ip = Vec::new();
+    let mut rest = Vec::new();
+    for r in remaining.iter().skip(20) {
+        if r.ratio > 2.0 {
+            ip.push(r.user);
+        } else {
+            rest.push(r.user);
+        }
+    }
+    Partition { is, bu, ip, rest, ratios }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ScalePreset, SimConfig};
+    use crate::generate::generate_corpus;
+
+    #[test]
+    fn ratio_thresholds_match_section_2() {
+        assert_eq!(UserType::from_ratio(0.1), UserType::InformationSeeker);
+        assert_eq!(UserType::from_ratio(0.49), UserType::InformationSeeker);
+        assert_eq!(UserType::from_ratio(1.0), UserType::BalancedUser);
+        assert_eq!(UserType::from_ratio(2.0), UserType::BalancedUser);
+        assert_eq!(UserType::from_ratio(2.01), UserType::InformationProducer);
+    }
+
+    #[test]
+    fn partition_recovers_the_planned_bands() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+        let p = partition_users(&corpus);
+        assert_eq!(p.is.len(), 20);
+        assert_eq!(p.bu.len(), 20);
+        assert_eq!(p.members(UserGroup::All).len(), 60);
+        assert!(!p.ip.is_empty(), "IP group must not be empty");
+        assert_eq!(p.ip.len() + p.rest.len(), 20);
+        // Measured groups should agree with the simulator's band plan for
+        // most users. The BU band's upper edge (1.16) abuts the extra
+        // band's lower edge (1.2), so a handful of boundary users flip —
+        // exactly like the paper's own BU/IP boundary, which forced its
+        // authors to intervene manually (§4).
+        let agree = |ids: &[UserId], band: usize| {
+            ids.iter().filter(|u| corpus.user(**u).band == band).count()
+        };
+        assert!(agree(&p.is, 0) >= 18, "IS: {}", agree(&p.is, 0));
+        assert!(agree(&p.bu, 1) >= 13, "BU: {}", agree(&p.bu, 1));
+        assert!(agree(&p.ip, 2) >= p.ip.len().saturating_sub(2));
+    }
+
+    #[test]
+    fn groups_are_disjoint() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 7));
+        let p = partition_users(&corpus);
+        let mut seen = std::collections::HashSet::new();
+        for u in p.is.iter().chain(&p.bu).chain(&p.ip).chain(&p.rest) {
+            assert!(seen.insert(*u), "user {u:?} appears in two groups");
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn ip_ratios_exceed_two() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+        let p = partition_users(&corpus);
+        for &u in &p.ip {
+            assert!(p.ratio_of(u) > 2.0);
+        }
+    }
+
+    #[test]
+    fn is_ratios_are_the_lowest() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+        let p = partition_users(&corpus);
+        let max_is = p.is.iter().map(|&u| p.ratio_of(u)).fold(0.0f64, f64::max);
+        let min_other = p
+            .bu
+            .iter()
+            .chain(&p.ip)
+            .chain(&p.rest)
+            .map(|&u| p.ratio_of(u))
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_is <= min_other);
+    }
+}

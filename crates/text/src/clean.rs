@@ -1,0 +1,58 @@
+//! Tweet cleaning for language detection.
+//!
+//! Before detecting languages, the paper "cleaned all tweets from hashtags,
+//! mentions, URLs and emoticons in order to reduce the noise of non-English
+//! tweets" (§4). This module implements that cleaning step on top of the
+//! tokenizer: only [`crate::token::TokenKind::Word`] tokens survive, joined
+//! by single spaces.
+
+use crate::token::{TokenKind, Tokenizer};
+
+/// Strip hashtags, mentions, URLs and emoticons from a tweet, returning the
+/// remaining words joined by spaces.
+pub fn clean_for_language_detection(text: &str) -> String {
+    clean_with(&Tokenizer::default(), text)
+}
+
+/// Like [`clean_for_language_detection`] but reusing a caller-owned
+/// tokenizer (useful in hot loops over large corpora).
+pub fn clean_with(tokenizer: &Tokenizer, text: &str) -> String {
+    let tokens = tokenizer.tokenize(text);
+    let mut out = String::with_capacity(text.len());
+    for t in tokens {
+        if t.kind == TokenKind::Word {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_twitter_markup() {
+        let cleaned =
+            clean_for_language_detection("@alice check http://t.co/x #cool :) amazing stuff");
+        assert_eq!(cleaned, "check amazing stuff");
+    }
+
+    #[test]
+    fn plain_text_survives_lowercased() {
+        assert_eq!(clean_for_language_detection("Hello World"), "hello world");
+    }
+
+    #[test]
+    fn all_markup_yields_empty() {
+        assert_eq!(clean_for_language_detection("@a #b http://c :)"), "");
+    }
+
+    #[test]
+    fn non_latin_words_survive() {
+        assert_eq!(clean_for_language_detection("日本語 #tag"), "日本語");
+    }
+}

@@ -1,0 +1,138 @@
+//! Character and token n-gram extraction.
+//!
+//! Both the bag models (TN, CN) and the n-gram graph models (TNG, CNG) of the
+//! paper operate on n-grams (§3). Token n-grams are sequences of `n`
+//! consecutive tokens of a tokenized tweet; character n-grams are sequences
+//! of `n` consecutive characters of the *raw* (lower-cased) text, which makes
+//! them robust to noise and applicable to scripts without word separators
+//! (challenges C2–C4).
+//!
+//! N-grams are ordered: the bigram `"ab"` differs from `"ba"` (local
+//! context). The graph models additionally record which n-grams co-occur
+//! within a window — that part lives in `pmr-graph`; this module only
+//! enumerates the grams and their positions.
+
+/// Extract character n-grams from raw text.
+///
+/// Whitespace runs are collapsed to a single space so that formatting does
+/// not manufacture distinct grams; the text is otherwise used verbatim
+/// (character models deliberately see URLs, hashtags and punctuation).
+///
+/// Returns the grams in order of appearance; the position of a gram is its
+/// index in the returned vector, which is what the graph models use for
+/// windowed co-occurrence.
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    let normalized = normalize_whitespace(text);
+    let chars: Vec<char> = normalized.chars().collect();
+    if chars.len() < n {
+        return Vec::new();
+    }
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
+}
+
+/// Extract token n-grams from a token sequence.
+///
+/// Grams are joined with a single space, which cannot occur inside a token,
+/// so the mapping from token sequence to gram string is injective.
+pub fn token_ngrams<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    (0..=tokens.len() - n)
+        .map(|i| {
+            let mut s = String::new();
+            for (k, t) in tokens[i..i + n].iter().enumerate() {
+                if k > 0 {
+                    s.push(' ');
+                }
+                s.push_str(t.as_ref());
+            }
+            s
+        })
+        .collect()
+}
+
+fn normalize_whitespace(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_ws = true; // also trims leading whitespace
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !last_ws {
+                out.push(' ');
+                last_ws = true;
+            }
+        } else {
+            out.push(c);
+            last_ws = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_bigrams() {
+        assert_eq!(char_ngrams("abc", 2), vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn char_ngrams_shorter_than_n() {
+        assert!(char_ngrams("ab", 3).is_empty());
+        assert!(char_ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn char_ngrams_collapse_whitespace() {
+        assert_eq!(char_ngrams("a  b", 2), char_ngrams("a b", 2));
+        assert_eq!(char_ngrams("  ab  ", 2), vec!["ab"]);
+    }
+
+    #[test]
+    fn char_ngrams_order_sensitive() {
+        // "ab" and "ba" are distinct grams (local context, §3.1).
+        let grams = char_ngrams("aba", 2);
+        assert_eq!(grams, vec!["ab", "ba"]);
+    }
+
+    #[test]
+    fn char_ngrams_multibyte() {
+        let grams = char_ngrams("日本語", 2);
+        assert_eq!(grams, vec!["日本", "本語"]);
+    }
+
+    #[test]
+    fn token_unigrams_are_the_tokens() {
+        let toks = ["bob", "sues", "jim"];
+        assert_eq!(token_ngrams(&toks, 1), vec!["bob", "sues", "jim"]);
+    }
+
+    #[test]
+    fn token_bigrams_preserve_order() {
+        let toks = ["bob", "sues", "jim"];
+        assert_eq!(token_ngrams(&toks, 2), vec!["bob sues", "sues jim"]);
+        let rev = ["jim", "sues", "bob"];
+        assert_ne!(token_ngrams(&toks, 2), token_ngrams(&rev, 2));
+    }
+
+    #[test]
+    fn token_ngrams_shorter_than_n() {
+        let toks = ["one"];
+        assert!(token_ngrams(&toks, 2).is_empty());
+    }
+
+    #[test]
+    fn gram_count_is_len_minus_n_plus_one() {
+        for n in 1..=4 {
+            let text = "abcdefgh";
+            assert_eq!(char_ngrams(text, n).len(), text.len() - n + 1);
+        }
+    }
+}

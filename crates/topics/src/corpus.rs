@@ -1,0 +1,89 @@
+//! The training corpus for topic models: interned pseudo-documents.
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::vocab::{TermId, Vocabulary};
+
+/// A topic-model training corpus: documents as interned token-id sequences
+/// over a shared vocabulary, with optional per-document label sets (used by
+/// Labeled LDA).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TopicCorpus {
+    /// Shared vocabulary over all documents.
+    pub vocab: Vocabulary,
+    /// Documents as token-id sequences.
+    pub docs: Vec<Vec<TermId>>,
+    /// Per-document label sets (parallel to `docs`), if labeling was run.
+    pub labels: Vec<Vec<crate::label::LabelId>>,
+}
+
+impl TopicCorpus {
+    /// Build a corpus from tokenized documents, interning the vocabulary.
+    /// Empty documents are kept (they simply contribute nothing), so that
+    /// indexes into `docs` remain aligned with the caller's document list.
+    pub fn from_token_docs<D, S>(docs: D) -> Self
+    where
+        D: IntoIterator,
+        D::Item: AsRef<[S]>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Vec<TermId>> = docs
+            .into_iter()
+            .map(|d| d.as_ref().iter().map(|t| vocab.add(t.as_ref())).collect())
+            .collect();
+        TopicCorpus { vocab, docs, labels: Vec::new() }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Vocabulary size `|V|`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Total number of tokens across all documents.
+    pub fn total_tokens(&self) -> usize {
+        self.docs.iter().map(Vec::len).sum()
+    }
+
+    /// Map a tokenized document onto this corpus's vocabulary, dropping
+    /// out-of-vocabulary tokens (used at inference time for test tweets).
+    pub fn encode<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<TermId> {
+        tokens.iter().filter_map(|t| self.vocab.get(t.as_ref())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_interns() {
+        let c = TopicCorpus::from_token_docs(vec![
+            vec!["a", "b", "a"],
+            vec!["b", "c"],
+            vec![],
+        ]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.vocab_size(), 3);
+        assert_eq!(c.total_tokens(), 5);
+        assert_eq!(c.docs[0], vec![0, 1, 0]);
+        assert!(c.docs[2].is_empty());
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let c = TopicCorpus::from_token_docs(vec![vec!["a", "b"]]);
+        assert_eq!(c.encode(&["a", "zzz", "b"]), vec![0, 1]);
+        assert!(c.encode(&["zzz"]).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! The Labeled-LDA tweet labeler (§4, following Ramage, Dumais & Liebling
+//! 2010).
+//!
+//! Labels assigned to a training tweet:
+//!
+//! * one label per hashtag that occurs more than `hashtag_min_count` times
+//!   across the training tweets (30 in the paper);
+//! * a question-mark label if the raw text contains `?`;
+//! * one label per emoticon category present (nine categories);
+//! * an `@user` label if the tweet mentions a user as its first token.
+//!
+//! Most labels come in 10 frequency variations (e.g. `frown-0` … `frown-9`);
+//! hashtag labels and the emoticons *big grin*, *heart*, *surprise* and
+//! *confused* carry no variations (§4). Variations are assigned
+//! deterministically by document index.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use pmr_text::token::{Token, TokenKind};
+use pmr_text::{classify_emoticon, EmoticonClass};
+
+/// Dense label identifier issued by [`LabelVocabulary::intern`].
+pub type LabelId = u32;
+
+/// Number of variations per variated label.
+pub const VARIATIONS: usize = 10;
+
+/// A fitted labeler: knows which hashtags are frequent enough to be labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Labeler {
+    /// Minimum training-corpus occurrences for a hashtag label.
+    pub hashtag_min_count: usize,
+    frequent_hashtags: HashSet<String>,
+}
+
+impl Labeler {
+    /// The paper's hashtag threshold.
+    pub const PAPER_MIN_COUNT: usize = 30;
+
+    /// Fit the labeler on the training tweets (counts hashtags).
+    pub fn fit<'a, I>(token_docs: I, hashtag_min_count: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [Token]>,
+    {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in token_docs {
+            for t in doc {
+                if t.kind == TokenKind::Hashtag {
+                    *counts.entry(t.text.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let frequent_hashtags = counts
+            .into_iter()
+            .filter(|&(_, c)| c > hashtag_min_count)
+            .map(|(tag, _)| tag)
+            .collect();
+        Labeler { hashtag_min_count, frequent_hashtags }
+    }
+
+    /// Number of hashtags that qualified as labels.
+    pub fn num_hashtag_labels(&self) -> usize {
+        self.frequent_hashtags.len()
+    }
+
+    /// Label strings of a tweet. `doc_index` drives the deterministic
+    /// variation assignment.
+    pub fn label(&self, raw_text: &str, tokens: &[Token], doc_index: usize) -> Vec<String> {
+        let variation = doc_index % VARIATIONS;
+        let mut labels = Vec::new();
+        // Hashtag labels (no variations).
+        for t in tokens {
+            if t.kind == TokenKind::Hashtag && self.frequent_hashtags.contains(&t.text) {
+                labels.push(t.text.clone());
+            }
+        }
+        // Question mark (with variations).
+        if raw_text.contains('?') {
+            labels.push(format!("?-{variation}"));
+        }
+        // Emoticon categories.
+        let mut classes: Vec<EmoticonClass> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Emoticon)
+            .filter_map(|t| classify_emoticon(&t.text))
+            .collect();
+        classes.sort();
+        classes.dedup();
+        for c in classes {
+            if c.has_variations() {
+                labels.push(format!("{}-{variation}", c.name()));
+            } else {
+                labels.push(c.name().to_owned());
+            }
+        }
+        // Leading @user mention (with variations).
+        if tokens.first().is_some_and(|t| t.kind == TokenKind::Mention) {
+            labels.push(format!("@user-{variation}"));
+        }
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+/// A label vocabulary: string label ↔ dense [`LabelId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelVocabulary {
+    map: HashMap<String, LabelId>,
+    names: Vec<String>,
+}
+
+impl LabelVocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a label string.
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        match self.map.get(label) {
+            Some(&id) => id,
+            None => {
+                let id = self.names.len() as LabelId;
+                self.map.insert(label.to_owned(), id);
+                self.names.push(label.to_owned());
+                id
+            }
+        }
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The surface form of a label id.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_text::tokenize;
+
+    fn fit_on(texts: &[&str], min: usize) -> (Labeler, Vec<Vec<Token>>) {
+        let docs: Vec<Vec<Token>> = texts.iter().map(|t| tokenize(t)).collect();
+        let labeler = Labeler::fit(docs.iter().map(Vec::as_slice), min);
+        (labeler, docs)
+    }
+
+    #[test]
+    fn frequent_hashtags_become_labels() {
+        let texts: Vec<String> =
+            (0..40).map(|i| format!("tweet {i} #hot {}", if i < 5 { "#cold" } else { "" })).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (labeler, docs) = fit_on(&refs, 30);
+        assert_eq!(labeler.num_hashtag_labels(), 1);
+        let labels = labeler.label(refs[0], &docs[0], 0);
+        assert!(labels.contains(&"#hot".to_owned()));
+        assert!(!labels.iter().any(|l| l == "#cold"));
+    }
+
+    #[test]
+    fn question_mark_label_with_variation() {
+        let (labeler, docs) = fit_on(&["really? wow"], 30);
+        let labels = labeler.label("really? wow", &docs[0], 3);
+        assert!(labels.contains(&"?-3".to_owned()));
+    }
+
+    #[test]
+    fn emoticon_labels_follow_variation_rules() {
+        let (labeler, docs) = fit_on(&["sad :( but ok <3"], 30);
+        let labels = labeler.label("sad :( but ok <3", &docs[0], 7);
+        assert!(labels.contains(&"frown-7".to_owned()), "{labels:?}");
+        assert!(labels.contains(&"heart".to_owned()), "heart carries no variation: {labels:?}");
+    }
+
+    #[test]
+    fn leading_mention_yields_user_label() {
+        let (labeler, docs) = fit_on(&["@bob thanks!", "thanks @bob"], 30);
+        let l0 = labeler.label("@bob thanks!", &docs[0], 0);
+        assert!(l0.contains(&"@user-0".to_owned()));
+        let l1 = labeler.label("thanks @bob", &docs[1], 0);
+        assert!(!l1.iter().any(|l| l.starts_with("@user")), "{l1:?}");
+    }
+
+    #[test]
+    fn unlabeled_tweets_get_no_labels() {
+        let (labeler, docs) = fit_on(&["plain text here"], 30);
+        assert!(labeler.label("plain text here", &docs[0], 0).is_empty());
+    }
+
+    #[test]
+    fn label_vocabulary_roundtrip() {
+        let mut v = LabelVocabulary::new();
+        let a = v.intern("#x");
+        let b = v.intern("frown-1");
+        assert_eq!(v.intern("#x"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(a), "#x");
+        assert_eq!(v.name(b), "frown-1");
+    }
+
+    #[test]
+    fn variations_cycle_deterministically() {
+        let (labeler, docs) = fit_on(&["why?"], 30);
+        let l0 = labeler.label("why?", &docs[0], 0);
+        let l10 = labeler.label("why?", &docs[0], 10);
+        assert_eq!(l0, l10, "doc 0 and doc 10 share variation 0");
+    }
+}

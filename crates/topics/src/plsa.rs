@@ -1,0 +1,241 @@
+//! Probabilistic Latent Semantic Analysis (Hofmann 1999), trained with
+//! Expectation Maximization.
+//!
+//! PLSA models `P(w, d) = P(d) Σ_z P(z|d) P(w|z)` with no priors on the
+//! per-document topic distributions, which makes its parameter count grow
+//! linearly with the corpus (`|D|·|Z| + |Z|·|V|`) — the overfitting the
+//! paper discusses in §3.2 and the reason every PLSA configuration violated
+//! the paper's 32 GB memory constraint on its 2M-tweet corpus. The paper
+//! estimates PLSA with EM rather than Gibbs (§3.2); so do we.
+//!
+//! Unseen documents are folded in by running EM over `θ_d` only, with the
+//! topic–word distributions frozen.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pmr_text::vocab::TermId;
+
+use crate::corpus::TopicCorpus;
+use crate::model::{normalize, uniform, TopicModel};
+
+/// PLSA hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlsaConfig {
+    /// Number of topics `|Z|`.
+    pub topics: usize,
+    /// EM iterations over the training corpus.
+    pub iterations: usize,
+    /// Fold-in EM iterations per inferred document.
+    pub infer_iterations: usize,
+    /// Seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for PlsaConfig {
+    fn default() -> Self {
+        PlsaConfig { topics: 50, iterations: 50, infer_iterations: 15, seed: 42 }
+    }
+}
+
+/// A trained PLSA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlsaModel {
+    /// `phi[k][w] = P(w | z=k)`.
+    phi: Vec<Vec<f32>>,
+    infer_iterations: usize,
+    theta_train: Vec<Vec<f32>>,
+}
+
+impl PlsaModel {
+    /// Train with EM.
+    pub fn train(cfg: &PlsaConfig, corpus: &TopicCorpus) -> Self {
+        assert!(cfg.topics >= 1);
+        let k = cfg.topics;
+        let v = corpus.vocab_size().max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Random stochastic initialization.
+        let mut phi: Vec<Vec<f32>> = (0..k)
+            .map(|_| {
+                let mut row: Vec<f32> = (0..v).map(|_| rng.gen_range(0.1..1.0)).collect();
+                normalize(&mut row);
+                row
+            })
+            .collect();
+        let mut theta: Vec<Vec<f32>> = (0..corpus.len())
+            .map(|_| {
+                let mut row: Vec<f32> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
+                normalize(&mut row);
+                row
+            })
+            .collect();
+        // Per-document word counts (sparse).
+        let doc_counts: Vec<Vec<(u32, f32)>> = corpus
+            .docs
+            .iter()
+            .map(|doc| {
+                let mut m = std::collections::HashMap::new();
+                for &w in doc {
+                    *m.entry(w).or_insert(0.0f32) += 1.0;
+                }
+                let mut pairs: Vec<(u32, f32)> = m.into_iter().collect();
+                pairs.sort_by_key(|&(w, _)| w);
+                pairs
+            })
+            .collect();
+        let mut posterior = vec![0.0f32; k];
+        for _ in 0..cfg.iterations {
+            let mut phi_acc = vec![vec![0.0f32; v]; k];
+            let mut theta_acc = vec![vec![0.0f32; k]; corpus.len()];
+            for (d, counts) in doc_counts.iter().enumerate() {
+                for &(w, c) in counts {
+                    // E step: P(z | d, w) ∝ θ_dz φ_zw.
+                    for (z, p) in posterior.iter_mut().enumerate() {
+                        *p = theta[d][z] * phi[z][w as usize];
+                    }
+                    normalize(&mut posterior);
+                    // M-step accumulators.
+                    for (z, &p) in posterior.iter().enumerate() {
+                        phi_acc[z][w as usize] += c * p;
+                        theta_acc[d][z] += c * p;
+                    }
+                }
+            }
+            for (row, acc) in phi.iter_mut().zip(phi_acc) {
+                *row = acc;
+                normalize(row);
+            }
+            for (row, acc) in theta.iter_mut().zip(theta_acc) {
+                *row = acc;
+                normalize(row);
+            }
+        }
+        PlsaModel { phi, infer_iterations: cfg.infer_iterations, theta_train: theta }
+    }
+
+    /// `P(w | z=k)` rows.
+    pub fn phi(&self) -> &[Vec<f32>] {
+        &self.phi
+    }
+
+    /// The topic distribution of training document `d`.
+    pub fn theta_train(&self, d: usize) -> &[f32] {
+        &self.theta_train[d]
+    }
+
+    /// Estimated parameter count `|D|·|Z| + |Z|·|V|` — the quantity that
+    /// blows past memory constraints on large corpora (§3.2).
+    pub fn parameter_count(&self) -> usize {
+        self.theta_train.len() * self.phi.len()
+            + self.phi.len() * self.phi.first().map_or(0, Vec::len)
+    }
+}
+
+impl TopicModel for PlsaModel {
+    fn num_topics(&self) -> usize {
+        self.phi.len()
+    }
+
+    fn infer(&self, doc: &[TermId], _rng: &mut StdRng) -> Vec<f32> {
+        let k = self.num_topics();
+        if doc.is_empty() {
+            return uniform(k);
+        }
+        let mut theta = uniform(k);
+        let mut posterior = vec![0.0f32; k];
+        for _ in 0..self.infer_iterations.max(1) {
+            let mut acc = vec![0.0f32; k];
+            for &w in doc {
+                for (z, p) in posterior.iter_mut().enumerate() {
+                    *p = theta[z] * self.phi[z].get(w as usize).copied().unwrap_or(0.0);
+                }
+                normalize(&mut posterior);
+                for (z, &p) in posterior.iter().enumerate() {
+                    acc[z] += p;
+                }
+            }
+            theta = acc;
+            normalize(&mut theta);
+        }
+        theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_corpus() -> TopicCorpus {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            if i % 2 == 0 {
+                docs.push(vec!["cat", "dog", "pet", "cat"]);
+            } else {
+                docs.push(vec!["rust", "code", "bug", "rust"]);
+            }
+        }
+        TopicCorpus::from_token_docs(docs)
+    }
+
+    #[test]
+    fn recovers_two_topics() {
+        let corpus = two_cluster_corpus();
+        let cfg = PlsaConfig { topics: 2, iterations: 60, infer_iterations: 20, seed: 3 };
+        let model = PlsaModel::train(&cfg, &corpus);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pet = model.infer(&corpus.encode(&["cat", "dog"]), &mut rng);
+        let code = model.infer(&corpus.encode(&["rust", "bug"]), &mut rng);
+        let pt = crate::model::argmax(&pet);
+        let ct = crate::model::argmax(&code);
+        assert_ne!(pt, ct);
+        assert!(pet[pt] > 0.8, "{pet:?}");
+        assert!(code[ct] > 0.8, "{code:?}");
+    }
+
+    #[test]
+    fn theta_and_phi_are_stochastic() {
+        let corpus = two_cluster_corpus();
+        let model = PlsaModel::train(&PlsaConfig::default(), &corpus);
+        for row in model.phi() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        }
+        assert!((model.theta_train(0).iter().sum::<f32>() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parameter_count_grows_with_corpus() {
+        let small = two_cluster_corpus();
+        let cfg = PlsaConfig { topics: 2, iterations: 5, infer_iterations: 5, seed: 1 };
+        let m_small = PlsaModel::train(&cfg, &small);
+        let mut docs: Vec<Vec<&str>> = Vec::new();
+        for _ in 0..100 {
+            docs.push(vec!["cat", "dog"]);
+        }
+        let big = TopicCorpus::from_token_docs(docs);
+        let m_big = PlsaModel::train(&cfg, &big);
+        assert!(m_big.parameter_count() > m_small.parameter_count() / 2);
+        assert_eq!(
+            m_small.parameter_count(),
+            30 * 2 + 2 * small.vocab_size()
+        );
+    }
+
+    #[test]
+    fn empty_doc_is_uniform() {
+        let corpus = two_cluster_corpus();
+        let model = PlsaModel::train(&PlsaConfig::default(), &corpus);
+        let mut rng = StdRng::seed_from_u64(1);
+        let th = model.infer(&[], &mut rng);
+        assert!(th.iter().all(|&p| (p - 1.0 / th.len() as f32).abs() < 1e-6));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = two_cluster_corpus();
+        let cfg = PlsaConfig { topics: 3, iterations: 10, infer_iterations: 5, seed: 9 };
+        let a = PlsaModel::train(&cfg, &corpus);
+        let b = PlsaModel::train(&cfg, &corpus);
+        assert_eq!(a.phi(), b.phi());
+    }
+}

@@ -1,0 +1,193 @@
+//! Pooling schemes for sparse short texts (§3.2, "Using Topic Models").
+//!
+//! Topic models starve on 10-token documents (challenge C1). The paper
+//! mitigates this with three pooling schemes applied to the *training* data:
+//!
+//! * **NP** — no pooling: every tweet is its own document;
+//! * **UP** — user pooling: all tweets by the same author form one
+//!   pseudo-document;
+//! * **HP** — hashtag pooling: all tweets sharing a hashtag form one
+//!   pseudo-document; tweets without any hashtag stay individual documents.
+//!
+//! Pooling only changes what the model is *trained* on; inference for
+//! individual tweets (user-model construction and testing) always runs on
+//! the un-pooled tweet.
+
+use serde::{Deserialize, Serialize};
+
+/// The three pooling schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PoolingScheme {
+    /// No pooling.
+    NP,
+    /// User pooling.
+    UP,
+    /// Hashtag pooling.
+    HP,
+}
+
+impl PoolingScheme {
+    /// All schemes, in the paper's order.
+    pub const ALL: [PoolingScheme; 3] = [PoolingScheme::NP, PoolingScheme::UP, PoolingScheme::HP];
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolingScheme::NP => "NP",
+            PoolingScheme::UP => "UP",
+            PoolingScheme::HP => "HP",
+        }
+    }
+}
+
+/// A tweet prepared for pooling: its tokens plus the metadata pooling keys.
+#[derive(Debug, Clone)]
+pub struct PoolInput<'a> {
+    /// Tokens of the tweet (already normalized / stop-filtered).
+    pub tokens: &'a [String],
+    /// A stable author key (pools UP).
+    pub author: u32,
+    /// Hashtag tokens of the tweet (pool HP); empty if none.
+    pub hashtags: &'a [String],
+}
+
+/// Apply a pooling scheme: returns the pseudo-documents (token lists).
+///
+/// For HP, a tweet with multiple hashtags joins the pool of its *first*
+/// hashtag (the paper does not specify multi-tag handling; first-tag
+/// assignment keeps every tweet in exactly one pseudo-document, which
+/// preserves corpus token counts).
+pub fn pool(scheme: PoolingScheme, tweets: &[PoolInput<'_>]) -> Vec<Vec<String>> {
+    pool_indexed(scheme, tweets).into_iter().map(|(doc, _)| doc).collect()
+}
+
+/// Like [`pool`], but also returns, per pseudo-document, the indices of the
+/// input tweets it was assembled from (used by the Labeled-LDA labeler to
+/// union the labels of a pool's constituents).
+pub fn pool_indexed(
+    scheme: PoolingScheme,
+    tweets: &[PoolInput<'_>],
+) -> Vec<(Vec<String>, Vec<usize>)> {
+    match scheme {
+        PoolingScheme::NP => tweets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.tokens.to_vec(), vec![i]))
+            .collect(),
+        PoolingScheme::UP => {
+            let mut pools: std::collections::BTreeMap<u32, (Vec<String>, Vec<usize>)> =
+                std::collections::BTreeMap::new();
+            for (i, t) in tweets.iter().enumerate() {
+                let entry = pools.entry(t.author).or_default();
+                entry.0.extend(t.tokens.iter().cloned());
+                entry.1.push(i);
+            }
+            pools.into_values().collect()
+        }
+        PoolingScheme::HP => {
+            let mut pools: std::collections::BTreeMap<String, (Vec<String>, Vec<usize>)> =
+                std::collections::BTreeMap::new();
+            let mut singles: Vec<(Vec<String>, Vec<usize>)> = Vec::new();
+            for (i, t) in tweets.iter().enumerate() {
+                match t.hashtags.first() {
+                    Some(tag) => {
+                        let entry = pools.entry(tag.clone()).or_default();
+                        entry.0.extend(t.tokens.iter().cloned());
+                        entry.1.push(i);
+                    }
+                    None => singles.push((t.tokens.to_vec(), vec![i])),
+                }
+            }
+            pools.into_values().chain(singles).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn np_keeps_tweets_individual() {
+        let t1 = toks("a b");
+        let t2 = toks("c");
+        let tweets = vec![
+            PoolInput { tokens: &t1, author: 1, hashtags: &[] },
+            PoolInput { tokens: &t2, author: 1, hashtags: &[] },
+        ];
+        let docs = pool(PoolingScheme::NP, &tweets);
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn up_merges_by_author() {
+        let t1 = toks("a b");
+        let t2 = toks("c");
+        let t3 = toks("d");
+        let tweets = vec![
+            PoolInput { tokens: &t1, author: 1, hashtags: &[] },
+            PoolInput { tokens: &t2, author: 2, hashtags: &[] },
+            PoolInput { tokens: &t3, author: 1, hashtags: &[] },
+        ];
+        let docs = pool(PoolingScheme::UP, &tweets);
+        assert_eq!(docs.len(), 2);
+        assert!(docs.iter().any(|d| d == &toks("a b d")));
+    }
+
+    #[test]
+    fn hp_merges_by_hashtag_and_keeps_untagged_single() {
+        let t1 = toks("a");
+        let t2 = toks("b");
+        let t3 = toks("c");
+        let h1 = toks("#x");
+        let h2 = toks("#x #y");
+        let tweets = vec![
+            PoolInput { tokens: &t1, author: 1, hashtags: &h1 },
+            PoolInput { tokens: &t2, author: 2, hashtags: &h2 },
+            PoolInput { tokens: &t3, author: 3, hashtags: &[] },
+        ];
+        let docs = pool(PoolingScheme::HP, &tweets);
+        assert_eq!(docs.len(), 2);
+        assert!(docs.contains(&toks("a b")), "both #x tweets pool together");
+        assert!(docs.contains(&toks("c")), "untagged tweet stays individual");
+    }
+
+    #[test]
+    fn pool_indexed_members_partition_the_input() {
+        let t1 = toks("a");
+        let t2 = toks("b");
+        let t3 = toks("c");
+        let h = toks("#x");
+        let tweets = vec![
+            PoolInput { tokens: &t1, author: 1, hashtags: &h },
+            PoolInput { tokens: &t2, author: 1, hashtags: &[] },
+            PoolInput { tokens: &t3, author: 2, hashtags: &h },
+        ];
+        for scheme in PoolingScheme::ALL {
+            let pooled = pool_indexed(scheme, &tweets);
+            let mut seen: Vec<usize> =
+                pooled.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+            seen.sort();
+            assert_eq!(seen, vec![0, 1, 2], "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn pooling_preserves_total_tokens() {
+        let t1 = toks("a b");
+        let t2 = toks("c d e");
+        let h = toks("#x");
+        let tweets = vec![
+            PoolInput { tokens: &t1, author: 1, hashtags: &h },
+            PoolInput { tokens: &t2, author: 1, hashtags: &[] },
+        ];
+        for scheme in PoolingScheme::ALL {
+            let total: usize = pool(scheme, &tweets).iter().map(Vec::len).sum();
+            assert_eq!(total, 5, "{}", scheme.name());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Representation-source study for cold-start-ish users: when a user has
+//! few posts of her own, can her social neighborhood (followees, followers,
+//! reciprocal friends) stand in? This exercises the paper's Table 6
+//! machinery on a single model and reports, per user type, which source
+//! carries the most signal.
+//!
+//! ```text
+//! cargo run --release --example cold_start_sources
+//! ```
+
+use pmr::bag::{BagSimilarity, WeightingScheme};
+use pmr::core::config::AggKind;
+use pmr::core::experiment::{ExperimentRunner, RunnerOptions};
+use pmr::core::{ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr::sim::usertype::UserGroup;
+use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
+
+fn main() {
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let runner = ExperimentRunner::new(&prepared);
+    let opts = RunnerOptions::default();
+
+    // A fixed strong model so that only the source varies.
+    let model = |_: ()| ModelConfiguration::Bag {
+        char_grams: false,
+        n: 1,
+        weighting: WeightingScheme::TFIDF,
+        aggregation: AggKind::Centroid,
+        similarity: BagSimilarity::Cosine,
+    };
+
+    let sources = [
+        RepresentationSource::R,
+        RepresentationSource::T,
+        RepresentationSource::E,
+        RepresentationSource::F,
+        RepresentationSource::C,
+        RepresentationSource::TR,
+        RepresentationSource::RC,
+    ];
+    println!("MAP of TN(TF-IDF) per representation source and user type:\n");
+    print!("{:<8}", "source");
+    for group in [UserGroup::All, UserGroup::IS, UserGroup::BU, UserGroup::IP] {
+        print!("{:>10}", group.name());
+    }
+    println!();
+    let mut best: Vec<(UserGroup, RepresentationSource, f64)> = Vec::new();
+    for source in sources {
+        print!("{:<8}", source.name());
+        for group in [UserGroup::All, UserGroup::IS, UserGroup::BU, UserGroup::IP] {
+            let r = runner.run(&model(()), source, group, &opts);
+            print!("{:>10.3}", r.map);
+            match best.iter_mut().find(|(g, _, _)| *g == group) {
+                Some(entry) if entry.2 < r.map => *entry = (group, source, r.map),
+                Some(_) => {}
+                None => best.push((group, source, r.map)),
+            }
+        }
+        println!();
+    }
+    println!("\nbest source per user type:");
+    for (group, source, map) in best {
+        println!("  {:<9} → {:<3} (MAP {map:.3})", group.name(), source.name());
+    }
+    println!(
+        "\nThe paper's finding: the user's own retweets (R) dominate everywhere;\n\
+         social sources (E, F, C) are weaker but usable when R is unavailable,\n\
+         with reciprocal connections (C) the strongest of the three."
+    );
+}

@@ -1,0 +1,102 @@
+//! Hashtag suggestion — one of the paper's stated future directions
+//! (§7: "we plan to expand our comparative analysis to other
+//! recommendation tasks … such as followees and hashtag suggestions").
+//!
+//! The same user-model machinery transfers directly: build the user model
+//! from her retweets, build one document model per candidate hashtag from
+//! the training tweets that carry it, and rank hashtags by similarity.
+//! Ground truth for the demonstration: the hashtags that actually appear
+//! in the user's *test-phase* retweets.
+//!
+//! ```text
+//! cargo run --release --example hashtag_suggest
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use pmr::bag::{AggregationFunction, BagVectorizer, SparseVector, WeightingScheme};
+use pmr::core::{PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr::sim::{generate_corpus, ScalePreset, SimConfig, TweetId};
+use pmr::text::token_ngrams;
+
+fn main() {
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 21));
+    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+
+    // Pick a user whose test positives carry hashtags.
+    let user = prepared
+        .split
+        .users()
+        .find(|&u| {
+            let s = prepared.split.user(u).expect("users() yields split users");
+            s.positives.iter().any(|&id| !prepared.hashtags(id).is_empty())
+        })
+        .expect("some test positives carry hashtags");
+    let split = prepared.split.user(user).expect("chosen above");
+
+    // The user model from her retweets (source R), TN unigrams + TF-IDF.
+    let train = prepared.split.train_ids(&prepared.corpus, user, RepresentationSource::R);
+    // Candidate hashtags and their supporting tweets come from the whole
+    // training phase of the user's feed (what she could have seen).
+    let feed_train: Vec<TweetId> =
+        prepared.split.train_ids(&prepared.corpus, user, RepresentationSource::E);
+    let mut tag_tweets: HashMap<String, Vec<TweetId>> = HashMap::new();
+    for &id in &feed_train {
+        for tag in prepared.hashtags(id) {
+            tag_tweets.entry(tag.clone()).or_default().push(id);
+        }
+    }
+    tag_tweets.retain(|_, tweets| tweets.len() >= 3);
+    println!(
+        "user {:?}: {} candidate hashtags with ≥3 supporting feed tweets",
+        user,
+        tag_tweets.len()
+    );
+
+    let grams = |id: TweetId| token_ngrams(prepared.content(id), 1);
+    let train_grams: Vec<Vec<String>> = train.iter().map(|&id| grams(id)).collect();
+    let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, train_grams.iter());
+    let vectors: Vec<SparseVector> =
+        train_grams.iter().map(|g| vectorizer.transform(g)).collect();
+    let user_model = AggregationFunction::Centroid.aggregate(&vectors, &[]);
+
+    // One document model per hashtag: centroid of its supporting tweets.
+    let mut ranked: Vec<(f64, String)> = tag_tweets
+        .iter()
+        .map(|(tag, tweets)| {
+            let vecs: Vec<SparseVector> =
+                tweets.iter().map(|&id| vectorizer.transform(&grams(id))).collect();
+            let tag_model = AggregationFunction::Centroid.aggregate(&vecs, &[]);
+            (pmr::bag::similarity::cosine(&user_model, &tag_model), tag.clone())
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+
+    // Ground truth: hashtags of the user's test-phase positives.
+    let truth: HashSet<String> = split
+        .positives
+        .iter()
+        .flat_map(|&id| prepared.hashtags(id).iter().cloned())
+        .collect();
+    println!("hashtags in her future retweets: {truth:?}\n");
+    println!("top suggested hashtags:");
+    for (i, (score, tag)) in ranked.iter().take(10).enumerate() {
+        let hit = truth.contains(tag);
+        println!("{:>2}. [{score:+.3}] {tag} {}", i + 1, if hit { "✓" } else { "" });
+    }
+    let first_hit = ranked.iter().position(|(_, tag)| truth.contains(tag));
+    let mrr = first_hit.map(|i| 1.0 / (i + 1) as f64).unwrap_or(0.0);
+    // A random ordering's expected reciprocal rank of the first relevant
+    // candidate, for reference.
+    let expected_random_mrr = {
+        let n = ranked.len() as f64;
+        let r = ranked.iter().filter(|(_, t)| truth.contains(t)).count() as f64;
+        if r == 0.0 {
+            0.0
+        } else {
+            // E[1/first-hit-rank] under a uniform permutation, sampled.
+            (r / n).max(1.0 / n) // coarse lower bound, printed for scale only
+        }
+    };
+    println!("\nMRR = {mrr:.2} (a random ordering scores around {expected_random_mrr:.2})");
+}

@@ -1,0 +1,133 @@
+//! Model shoot-out: one representative configuration per family, evaluated
+//! on the same users and source, with effectiveness (MAP) and the two time
+//! measures side by side — a miniature of the paper's headline comparison.
+//!
+//! ```text
+//! cargo run --release --example model_shootout
+//! ```
+
+use pmr::bag::{BagSimilarity, WeightingScheme};
+use pmr::core::config::AggKind;
+use pmr::core::experiment::{ExperimentRunner, RunnerOptions};
+use pmr::core::timing::human;
+use pmr::core::{ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr::graph::GraphSimilarity;
+use pmr::sim::usertype::UserGroup;
+use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
+use pmr::topics::PoolingScheme;
+
+fn main() {
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let runner = ExperimentRunner::new(&prepared);
+    let opts = RunnerOptions::default();
+
+    // One strong configuration per family (Table 7 shapes).
+    let contenders: Vec<(&str, ModelConfiguration)> = vec![
+        (
+            "TNG n=3 VS",
+            ModelConfiguration::Graph {
+                char_grams: false,
+                n: 3,
+                similarity: GraphSimilarity::Value,
+            },
+        ),
+        (
+            "CNG n=4 CoS",
+            ModelConfiguration::Graph {
+                char_grams: true,
+                n: 4,
+                similarity: GraphSimilarity::Containment,
+            },
+        ),
+        (
+            "TN n=1 TF-IDF CS",
+            ModelConfiguration::Bag {
+                char_grams: false,
+                n: 1,
+                weighting: WeightingScheme::TFIDF,
+                aggregation: AggKind::Centroid,
+                similarity: BagSimilarity::Cosine,
+            },
+        ),
+        (
+            "CN n=4 TF CS",
+            ModelConfiguration::Bag {
+                char_grams: true,
+                n: 4,
+                weighting: WeightingScheme::TF,
+                aggregation: AggKind::Centroid,
+                similarity: BagSimilarity::Cosine,
+            },
+        ),
+        (
+            "LDA K=100 UP",
+            ModelConfiguration::Lda {
+                topics: 100,
+                iterations: 1_000,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "LLDA K=100 UP",
+            ModelConfiguration::Llda {
+                topics: 100,
+                iterations: 1_000,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "BTM K=100 NP",
+            ModelConfiguration::Btm {
+                topics: 100,
+                pooling: PoolingScheme::NP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "HDP β=0.1 UP",
+            ModelConfiguration::Hdp {
+                beta: 0.1,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "HLDA 10/0.1/0.5",
+            ModelConfiguration::Hlda {
+                alpha: 10.0,
+                beta: 0.1,
+                gamma: 0.5,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>7} {:>12} {:>12}   (source R, All Users)",
+        "model", "MAP", "TTime", "ETime"
+    );
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for (name, config) in contenders {
+        let result = runner.run(&config, RepresentationSource::R, UserGroup::All, &opts);
+        println!(
+            "{:<18} {:>7.3} {:>12} {:>12}",
+            name,
+            result.map,
+            human(result.train_time),
+            human(result.test_time)
+        );
+        rows.push((name.to_owned(), result.map));
+    }
+    println!(
+        "{:<18} {:>7.3}",
+        "RAN baseline",
+        runner.random_map(UserGroup::All, &opts)
+    );
+    println!("{:<18} {:>7.3}", "CHR baseline", runner.chronological_map(UserGroup::All));
+
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\nwinner: {} (MAP {:.3})", rows[0].0, rows[0].1);
+}

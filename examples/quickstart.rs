@@ -1,0 +1,66 @@
+//! Quickstart: simulate a microblog corpus, build user models from each
+//! user's retweets, and rank her incoming test tweets — comparing the
+//! paper's two headline context-based models against both baselines.
+//!
+//! On the synthetic corpus the strongest graph configuration is the
+//! unigram-node graph (n = 1); the paper's n = 3 winner depends on the
+//! verbatim-repetition statistics of real tweets (see EXPERIMENTS.md,
+//! "Known divergences").
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pmr::core::config::AggKind;
+use pmr::core::experiment::{ExperimentRunner, RunnerOptions};
+use pmr::core::{
+    ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig,
+};
+use pmr::graph::GraphSimilarity;
+use pmr::sim::usertype::UserGroup;
+use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
+
+fn main() {
+    // 1. A synthetic Twitter world: 60 evaluated users inside a larger
+    //    population, multilingual tweets, interest-driven retweets.
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+    println!(
+        "corpus: {} tweets by {} users ({} evaluated)",
+        corpus.len(),
+        corpus.users.len(),
+        corpus.evaluated_user_ids().count()
+    );
+
+    // 2. Preprocess (tokenize, squeeze, stop-filter) and split each user's
+    //    timeline: the 20% most recent retweets become the positive test
+    //    documents, with 4 sampled negatives each.
+    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    println!("users with a test set: {}", prepared.split.len());
+
+    // 3. Token n-gram graphs built from the user's retweets (source R).
+    let config = ModelConfiguration::Graph {
+        char_grams: false,
+        n: 1,
+        similarity: GraphSimilarity::Value,
+    };
+    let runner = ExperimentRunner::new(&prepared);
+    let opts = RunnerOptions::default();
+    let result = runner.run(&config, RepresentationSource::R, UserGroup::All, &opts);
+    println!("TNG(n=1, VS) on R: MAP = {:.3}", result.map);
+
+    // 4. Compare against the paper's baselines.
+    println!("CHR baseline:       MAP = {:.3}", runner.chronological_map(UserGroup::All));
+    println!("RAN baseline:       MAP = {:.3}", runner.random_map(UserGroup::All, &opts));
+
+    // 5. And against a second model — the token vector-space model with
+    //    TF-IDF weights, the paper's efficiency/effectiveness sweet spot.
+    let tn = ModelConfiguration::Bag {
+        char_grams: false,
+        n: 1,
+        weighting: pmr::bag::WeightingScheme::TFIDF,
+        aggregation: AggKind::Centroid,
+        similarity: pmr::bag::BagSimilarity::Cosine,
+    };
+    let result = runner.run(&tn, RepresentationSource::R, UserGroup::All, &opts);
+    println!("TN(n=1, TF-IDF):    MAP = {:.3}", result.map);
+}

@@ -1,0 +1,42 @@
+//! # pmr — content-based personalized microblog recommendation
+//!
+//! A faithful, from-scratch Rust implementation of the system evaluated in
+//! *"Comparative Analysis of Content-based Personalized Microblog
+//! Recommendations"* (EDBT 2019): nine representation models, thirteen
+//! representation sources, the ranking-based recommendation framework, its
+//! evaluation protocol, and a synthetic Twitter substrate standing in for
+//! the paper's gated 2009 dataset.
+//!
+//! This crate is a facade: it re-exports the workspace crates so that
+//! applications can depend on a single name.
+//!
+//! ```
+//! use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
+//! use pmr::core::{PreparedCorpus, SplitConfig};
+//!
+//! let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 1));
+//! let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+//! assert!(prepared.split.len() > 0);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and `pmr-bench`
+//! for the binaries that regenerate every table and figure of the paper.
+
+/// Text substrate: tokenization, n-grams, vocabulary, language detection.
+pub use pmr_text as text;
+
+/// Synthetic Twitter substrate: corpus, social graph, retweet process.
+pub use pmr_sim as sim;
+
+/// Vector-space (bag) representation models.
+pub use pmr_bag as bag;
+
+/// N-gram graph representation models.
+pub use pmr_graph as graph;
+
+/// Topic models (PLSA, LDA, LLDA, HDP, HLDA, BTM) with pooling.
+pub use pmr_topics as topics;
+
+/// The recommendation framework: sources, splits, configurations,
+/// scoring, evaluation, baselines, experiments.
+pub use pmr_core as core;

@@ -1,0 +1,89 @@
+//! Integration: the online user models track a simulated user's stream and
+//! rank her future retweets above unretweeted feed content — the deployment
+//! scenario behind the paper's motivation.
+
+use pmr::bag::{BagSimilarity, BagVectorizer, WeightingScheme};
+use pmr::core::{OnlineBagModel, OnlineGraphModel, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr::graph::GraphSimilarity;
+use pmr::sim::{generate_corpus, ScalePreset, SimConfig, TweetId};
+use pmr::text::token_ngrams;
+
+fn setup() -> PreparedCorpus {
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
+    PreparedCorpus::new(corpus, SplitConfig::default())
+}
+
+/// Streaming the training retweets through the online bag model yields a
+/// ranker that scores test positives above test negatives on average.
+#[test]
+fn online_bag_model_learns_from_the_stream() {
+    let prepared = setup();
+    let mut lifted = 0usize;
+    let mut total = 0usize;
+    for user in prepared.split.users().take(12) {
+        let split = prepared.split.user(user).expect("users() yields split users");
+        let train = prepared.split.train_ids(&prepared.corpus, user, RepresentationSource::R);
+        if train.len() < 5 {
+            continue;
+        }
+        let grams = |id: TweetId| token_ngrams(prepared.content(id), 1);
+        let train_grams: Vec<Vec<String>> = train.iter().map(|&id| grams(id)).collect();
+        let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, train_grams.iter());
+        let mut model = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 1.0);
+        for g in &train_grams {
+            model.observe(g);
+        }
+        let mean = |ids: &[TweetId]| -> f64 {
+            if ids.is_empty() {
+                return 0.0;
+            }
+            ids.iter().map(|&id| model.score(&grams(id))).sum::<f64>() / ids.len() as f64
+        };
+        total += 1;
+        if mean(&split.positives) > mean(&split.negatives) {
+            lifted += 1;
+        }
+    }
+    assert!(total >= 8, "not enough testable users: {total}");
+    assert!(
+        lifted * 4 >= total * 3,
+        "online model should lift positives for most users: {lifted}/{total}"
+    );
+}
+
+/// The online graph model does the same through the update operator.
+#[test]
+fn online_graph_model_learns_from_the_stream() {
+    let prepared = setup();
+    // Pick a user with a substantial retweet history.
+    let user = prepared
+        .split
+        .users()
+        .max_by_key(|&u| {
+            prepared.split.train_ids(&prepared.corpus, u, RepresentationSource::R).len()
+        })
+        .expect("split users exist");
+    let split = prepared.split.user(user).expect("selected above");
+    let train = prepared.split.train_ids(&prepared.corpus, user, RepresentationSource::R);
+    // Unigram-node graphs: their edges encode word bigrams, the order
+    // information the simulated collocations actually supply (higher-n
+    // graph edges need verbatim 2n-token repetition — see
+    // tests/paper_shapes.rs).
+    let mut model = OnlineGraphModel::new(GraphSimilarity::Value, 1);
+    for &id in &train {
+        model.observe(&token_ngrams(prepared.content(id), 1));
+    }
+    assert_eq!(model.documents(), train.len());
+    let mut mean = |ids: &[TweetId]| -> f64 {
+        if ids.is_empty() {
+            return 0.0;
+        }
+        ids.iter()
+            .map(|&id| model.score(&token_ngrams(prepared.content(id), 1)))
+            .sum::<f64>()
+            / ids.len() as f64
+    };
+    let pos = mean(&split.positives);
+    let neg = mean(&split.negatives);
+    assert!(pos > neg, "positives must outscore negatives: {pos:.4} vs {neg:.4}");
+}

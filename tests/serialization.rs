@@ -1,0 +1,91 @@
+//! Persistence round-trips: every trained artifact must survive a JSON
+//! round-trip and keep scoring identically — the property a deployed system
+//! relies on for model checkpointing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pmr::bag::{BagSimilarity, BagVectorizer, WeightingScheme};
+use pmr::core::{OnlineBagModel, OnlineGraphModel};
+use pmr::graph::GraphSimilarity;
+use pmr::topics::{BtmConfig, BtmModel, LdaConfig, LdaModel, TopicCorpus, TopicModel};
+
+fn docs() -> Vec<Vec<String>> {
+    let d = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+    vec![
+        d("cat dog pet cat"),
+        d("rust code bug rust"),
+        d("cat pet vet"),
+        d("code test bug"),
+    ]
+}
+
+#[test]
+fn bag_vectorizer_roundtrips() {
+    let v = BagVectorizer::fit(WeightingScheme::TFIDF, docs().iter());
+    let json = serde_json::to_string(&v).expect("serializes");
+    let back: BagVectorizer = serde_json::from_str(&json).expect("deserializes");
+    let probe = vec!["cat".to_owned(), "bug".to_owned()];
+    assert_eq!(v.transform(&probe), back.transform(&probe));
+    assert_eq!(v.dimensionality(), back.dimensionality());
+}
+
+#[test]
+fn lda_model_roundtrips_and_scores_identically() {
+    let corpus = TopicCorpus::from_token_docs(docs());
+    let model = LdaModel::train(&LdaConfig::paper(3, 30, 7), &corpus);
+    let json = serde_json::to_string(&model).expect("serializes");
+    let back: LdaModel = serde_json::from_str(&json).expect("deserializes");
+    let query = corpus.encode(&["cat", "dog"]);
+    let a = model.infer(&query, &mut StdRng::seed_from_u64(1));
+    let b = back.infer(&query, &mut StdRng::seed_from_u64(1));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn btm_model_roundtrips() {
+    let corpus = TopicCorpus::from_token_docs(docs());
+    let model = BtmModel::train(&BtmConfig::paper(3, 30, 7), &corpus);
+    let json = serde_json::to_string(&model).expect("serializes");
+    let back: BtmModel = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(model.theta(), back.theta());
+    assert_eq!(model.phi(), back.phi());
+}
+
+#[test]
+fn online_models_roundtrip_mid_stream() {
+    let vectorizer = BagVectorizer::fit(WeightingScheme::TF, docs().iter());
+    let mut bag = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 0.9);
+    let mut graph = OnlineGraphModel::new(GraphSimilarity::Value, 2);
+    for d in docs().iter().take(2) {
+        bag.observe(d);
+        graph.observe(d);
+    }
+    // Checkpoint, restore, continue the stream on both copies.
+    let bag_json = serde_json::to_string(&bag).expect("serializes");
+    let graph_json = serde_json::to_string(&graph).expect("serializes");
+    let mut bag_restored: OnlineBagModel = serde_json::from_str(&bag_json).expect("ok");
+    let mut graph_restored: OnlineGraphModel =
+        serde_json::from_str(&graph_json).expect("ok");
+    for d in docs().iter().skip(2) {
+        bag.observe(d);
+        bag_restored.observe(d);
+        graph.observe(d);
+        graph_restored.observe(d);
+    }
+    let probe = vec!["cat".to_owned(), "code".to_owned()];
+    assert_eq!(bag.score(&probe), bag_restored.score(&probe));
+    assert_eq!(graph.score(&probe), graph_restored.score(&probe));
+}
+
+#[test]
+fn simulated_corpus_roundtrips() {
+    use pmr::sim::{generate_corpus, Corpus, ScalePreset, SimConfig};
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 5));
+    let json = serde_json::to_string(&corpus).expect("serializes");
+    let back: Corpus = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(corpus.len(), back.len());
+    assert_eq!(corpus.tweets[10].text, back.tweets[10].text);
+    let u = corpus.evaluated_user_ids().next().unwrap();
+    assert_eq!(corpus.incoming_of(u), back.incoming_of(u));
+}
