@@ -61,11 +61,7 @@ impl AggregationFunction {
     /// `negatives` are only consumed by Rocchio (the other functions ignore
     /// them, as the paper's sum/centroid models are built from positive
     /// content only).
-    pub fn aggregate(
-        self,
-        positives: &[SparseVector],
-        negatives: &[SparseVector],
-    ) -> SparseVector {
+    pub fn aggregate(self, positives: &[SparseVector], negatives: &[SparseVector]) -> SparseVector {
         match self {
             AggregationFunction::Sum => {
                 let mut acc = SparseVector::new();
@@ -119,7 +115,8 @@ mod tests {
 
     #[test]
     fn sum_adds_raw_weights() {
-        let out = AggregationFunction::Sum.aggregate(&[v(&[(0, 1.0)]), v(&[(0, 2.0), (1, 1.0)])], &[]);
+        let out =
+            AggregationFunction::Sum.aggregate(&[v(&[(0, 1.0)]), v(&[(0, 2.0), (1, 1.0)])], &[]);
         assert_eq!(out.get(0), 3.0);
         assert_eq!(out.get(1), 1.0);
     }
@@ -128,8 +125,7 @@ mod tests {
     fn centroid_normalizes_documents_first() {
         // One long and one short doc pointing at different dims: with unit
         // normalization they contribute equally.
-        let out = AggregationFunction::Centroid
-            .aggregate(&[v(&[(0, 10.0)]), v(&[(1, 0.1)])], &[]);
+        let out = AggregationFunction::Centroid.aggregate(&[v(&[(0, 10.0)]), v(&[(1, 0.1)])], &[]);
         assert!((out.get(0) - 0.5).abs() < 1e-6);
         assert!((out.get(1) - 0.5).abs() < 1e-6);
     }
@@ -138,8 +134,7 @@ mod tests {
     fn rocchio_subtracts_negatives() {
         let pos = [v(&[(0, 1.0)])];
         let neg = [v(&[(0, 1.0), (1, 1.0)])];
-        let out =
-            AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &neg);
+        let out = AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &neg);
         assert!(out.get(0) > 0.0, "positive-heavy dim stays positive");
         assert!(out.get(1) < 0.0, "negative-only dim goes negative");
     }
@@ -147,8 +142,7 @@ mod tests {
     #[test]
     fn rocchio_with_no_negatives_is_scaled_centroid() {
         let pos = [v(&[(0, 3.0)])];
-        let out =
-            AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &[]);
+        let out = AggregationFunction::Rocchio(RocchioParams::PAPER).aggregate(&pos, &[]);
         assert!((out.get(0) - 0.8).abs() < 1e-6);
     }
 

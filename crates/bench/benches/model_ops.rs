@@ -16,10 +16,7 @@ fn sample_texts(n: usize) -> Vec<String> {
     ];
     (0..n)
         .map(|i| {
-            (0..12)
-                .map(|j| words[(i * 7 + j * 13) % words.len()])
-                .collect::<Vec<_>>()
-                .join(" ")
+            (0..12).map(|j| words[(i * 7 + j * 13) % words.len()]).collect::<Vec<_>>().join(" ")
         })
         .collect()
 }
@@ -40,10 +37,8 @@ fn bench_tokenizer(c: &mut Criterion) {
 
 fn bench_ngrams(c: &mut Criterion) {
     let texts = sample_texts(100);
-    let tokens: Vec<Vec<String>> = texts
-        .iter()
-        .map(|t| t.split_whitespace().map(str::to_owned).collect())
-        .collect();
+    let tokens: Vec<Vec<String>> =
+        texts.iter().map(|t| t.split_whitespace().map(str::to_owned).collect()).collect();
     let mut group = c.benchmark_group("ngram_extraction");
     for n in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::new("char", n), &n, |b, &n| {
@@ -58,10 +53,8 @@ fn bench_ngrams(c: &mut Criterion) {
 
 fn bench_bag(c: &mut Criterion) {
     let texts = sample_texts(150);
-    let docs: Vec<Vec<String>> = texts
-        .iter()
-        .map(|t| t.split_whitespace().map(str::to_owned).collect())
-        .collect();
+    let docs: Vec<Vec<String>> =
+        texts.iter().map(|t| t.split_whitespace().map(str::to_owned).collect()).collect();
     c.bench_function("bag_fit_150_docs", |b| {
         b.iter(|| BagVectorizer::fit(WeightingScheme::TFIDF, docs.iter()))
     });
@@ -69,8 +62,7 @@ fn bench_bag(c: &mut Criterion) {
     let va = vectorizer.transform(&docs[0]);
     let vb = vectorizer.transform(&docs[1]);
     let mut group = c.benchmark_group("bag_similarity");
-    for sim in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard]
-    {
+    for sim in [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard] {
         group.bench_function(sim.name(), |b| b.iter(|| sim.compare(&va, &vb)));
     }
     group.finish();
@@ -78,10 +70,8 @@ fn bench_bag(c: &mut Criterion) {
 
 fn bench_graph(c: &mut Criterion) {
     let texts = sample_texts(150);
-    let docs: Vec<Vec<String>> = texts
-        .iter()
-        .map(|t| t.split_whitespace().map(str::to_owned).collect())
-        .collect();
+    let docs: Vec<Vec<String>> =
+        texts.iter().map(|t| t.split_whitespace().map(str::to_owned).collect()).collect();
     c.bench_function("graph_build_and_merge_150_docs", |b| {
         b.iter(|| {
             let mut space = GraphSpace::new();
@@ -112,10 +102,8 @@ fn bench_graph(c: &mut Criterion) {
 
 fn bench_topics(c: &mut Criterion) {
     let texts = sample_texts(120);
-    let docs: Vec<Vec<String>> = texts
-        .iter()
-        .map(|t| t.split_whitespace().map(str::to_owned).collect())
-        .collect();
+    let docs: Vec<Vec<String>> =
+        texts.iter().map(|t| t.split_whitespace().map(str::to_owned).collect()).collect();
     let corpus = TopicCorpus::from_token_docs(&docs);
     let mut group = c.benchmark_group("topic_training");
     group.sample_size(10);

@@ -6,15 +6,18 @@
 //! 4. retweet-signal strength (the simulator's γ) — how corpus-level
 //!    interest alignment drives every content-based model's headroom;
 //! 5. seed sensitivity of the headline comparison.
+//!
+//! Accepts the shared harness flags (`--help` lists them); `--jobs N` sets
+//! the worker-thread count used by the underlying runs.
 
-use pmr_bench::HarnessOptions;
 use pmr_bag::{BagSimilarity, WeightingScheme};
+use pmr_bench::HarnessOptions;
 use pmr_core::config::AggKind;
 use pmr_core::experiment::ExperimentRunner;
 use pmr_core::{ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig};
 use pmr_graph::GraphSimilarity;
-use pmr_sim::usertype::UserGroup;
 use pmr_sim::generate_corpus;
+use pmr_sim::usertype::UserGroup;
 use pmr_topics::PoolingScheme;
 
 fn main() {
@@ -39,11 +42,8 @@ fn main() {
 
     println!("\n=== Ablation 2: n-gram size (source R) ===");
     for n in 1..=3usize {
-        let cfg = ModelConfiguration::Graph {
-            char_grams: false,
-            n,
-            similarity: GraphSimilarity::Value,
-        };
+        let cfg =
+            ModelConfiguration::Graph { char_grams: false, n, similarity: GraphSimilarity::Value };
         println!("  TNG n={n} MAP {:.3}", map(&cfg));
     }
     for n in 2..=4usize {
@@ -110,8 +110,7 @@ fn main() {
             aggregation: AggKind::Centroid,
             similarity: BagSimilarity::Cosine,
         };
-        let m_tng =
-            runner_s.run(&tng, RepresentationSource::R, UserGroup::All, &runner_opts).map;
+        let m_tng = runner_s.run(&tng, RepresentationSource::R, UserGroup::All, &runner_opts).map;
         let m_tn = runner_s.run(&tn, RepresentationSource::R, UserGroup::All, &runner_opts).map;
         println!("  seed {seed}: TNG {m_tng:.3} vs TN {m_tn:.3} (Δ {:+.3})", m_tng - m_tn);
     }

@@ -1,13 +1,15 @@
 //! Internal: times representative configurations to calibrate sweep cost.
-use std::time::Instant;
+//! Accepts the shared harness flags (`--help` lists them), including
+//! `--jobs N` (worker threads for the sweep the calibration extrapolates).
+use pmr_bag::{BagSimilarity, WeightingScheme};
 use pmr_bench::HarnessOptions;
+use pmr_core::config::AggKind;
 use pmr_core::experiment::ExperimentRunner;
 use pmr_core::{ModelConfiguration, RepresentationSource};
-use pmr_core::config::AggKind;
-use pmr_sim::usertype::UserGroup;
-use pmr_bag::{BagSimilarity, WeightingScheme};
 use pmr_graph::GraphSimilarity;
+use pmr_sim::usertype::UserGroup;
 use pmr_topics::PoolingScheme;
+use std::time::Instant;
 
 fn main() {
     let opts = HarnessOptions::from_env();
@@ -15,18 +17,110 @@ fn main() {
     let runner = ExperimentRunner::new(&prepared);
     let ro = opts.runner_options();
     let configs: Vec<(&str, ModelConfiguration)> = vec![
-        ("TN n=3 tfidf", ModelConfiguration::Bag { char_grams: false, n: 3, weighting: WeightingScheme::TFIDF, aggregation: AggKind::Centroid, similarity: BagSimilarity::Cosine }),
-        ("CN n=4 tf", ModelConfiguration::Bag { char_grams: true, n: 4, weighting: WeightingScheme::TF, aggregation: AggKind::Centroid, similarity: BagSimilarity::Cosine }),
-        ("TNG n=3", ModelConfiguration::Graph { char_grams: false, n: 3, similarity: GraphSimilarity::Value }),
-        ("CNG n=4", ModelConfiguration::Graph { char_grams: true, n: 4, similarity: GraphSimilarity::Value }),
-        ("LDA K=200 UP", ModelConfiguration::Lda { topics: 200, iterations: 2000, pooling: PoolingScheme::UP, aggregation: AggKind::Centroid }),
-        ("LDA K=200 NP", ModelConfiguration::Lda { topics: 200, iterations: 2000, pooling: PoolingScheme::NP, aggregation: AggKind::Centroid }),
-        ("LLDA K=200 UP", ModelConfiguration::Llda { topics: 200, iterations: 2000, pooling: PoolingScheme::UP, aggregation: AggKind::Centroid }),
-        ("BTM K=200 UP", ModelConfiguration::Btm { topics: 200, pooling: PoolingScheme::UP, aggregation: AggKind::Centroid }),
-        ("BTM K=200 NP", ModelConfiguration::Btm { topics: 200, pooling: PoolingScheme::NP, aggregation: AggKind::Centroid }),
-        ("HDP UP", ModelConfiguration::Hdp { beta: 0.1, pooling: PoolingScheme::UP, aggregation: AggKind::Centroid }),
-        ("HDP NP", ModelConfiguration::Hdp { beta: 0.1, pooling: PoolingScheme::NP, aggregation: AggKind::Centroid }),
-        ("HLDA", ModelConfiguration::Hlda { alpha: 10.0, beta: 0.1, gamma: 0.5, aggregation: AggKind::Centroid }),
+        (
+            "TN n=3 tfidf",
+            ModelConfiguration::Bag {
+                char_grams: false,
+                n: 3,
+                weighting: WeightingScheme::TFIDF,
+                aggregation: AggKind::Centroid,
+                similarity: BagSimilarity::Cosine,
+            },
+        ),
+        (
+            "CN n=4 tf",
+            ModelConfiguration::Bag {
+                char_grams: true,
+                n: 4,
+                weighting: WeightingScheme::TF,
+                aggregation: AggKind::Centroid,
+                similarity: BagSimilarity::Cosine,
+            },
+        ),
+        (
+            "TNG n=3",
+            ModelConfiguration::Graph {
+                char_grams: false,
+                n: 3,
+                similarity: GraphSimilarity::Value,
+            },
+        ),
+        (
+            "CNG n=4",
+            ModelConfiguration::Graph {
+                char_grams: true,
+                n: 4,
+                similarity: GraphSimilarity::Value,
+            },
+        ),
+        (
+            "LDA K=200 UP",
+            ModelConfiguration::Lda {
+                topics: 200,
+                iterations: 2000,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "LDA K=200 NP",
+            ModelConfiguration::Lda {
+                topics: 200,
+                iterations: 2000,
+                pooling: PoolingScheme::NP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "LLDA K=200 UP",
+            ModelConfiguration::Llda {
+                topics: 200,
+                iterations: 2000,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "BTM K=200 UP",
+            ModelConfiguration::Btm {
+                topics: 200,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "BTM K=200 NP",
+            ModelConfiguration::Btm {
+                topics: 200,
+                pooling: PoolingScheme::NP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "HDP UP",
+            ModelConfiguration::Hdp {
+                beta: 0.1,
+                pooling: PoolingScheme::UP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "HDP NP",
+            ModelConfiguration::Hdp {
+                beta: 0.1,
+                pooling: PoolingScheme::NP,
+                aggregation: AggKind::Centroid,
+            },
+        ),
+        (
+            "HLDA",
+            ModelConfiguration::Hlda {
+                alpha: 10.0,
+                beta: 0.1,
+                gamma: 0.5,
+                aggregation: AggKind::Centroid,
+            },
+        ),
     ];
     for (name, cfg) in configs {
         let t = Instant::now();

@@ -5,6 +5,9 @@
 //! ```text
 //! cargo run --release -p pmr-bench --bin export_corpus -- --scale smoke --out results
 //! ```
+//!
+//! Accepts the shared harness flags (`--help` lists them); `--jobs` is
+//! accepted but has no effect here, since no sweep runs.
 
 use std::io::{BufWriter, Write};
 
@@ -15,15 +18,12 @@ fn main() -> std::io::Result<()> {
     let opts = HarnessOptions::from_env();
     let corpus = generate_corpus(&opts.sim_config());
     std::fs::create_dir_all(&opts.out_dir)?;
-    let path = opts
-        .out_dir
-        .join(format!("corpus_{}_{}.jsonl", opts.scale.name(), opts.seed));
+    let path = opts.out_dir.join(format!("corpus_{}_{}.jsonl", opts.scale.name(), opts.seed));
     let mut out = BufWriter::new(std::fs::File::create(&path)?);
 
     // Header: users and their follow edges.
     for user in &corpus.users {
-        let followees: Vec<u32> =
-            corpus.graph.followees(user.id).iter().map(|v| v.0).collect();
+        let followees: Vec<u32> = corpus.graph.followees(user.id).iter().map(|v| v.0).collect();
         let record = serde_json::json!({
             "type": "user",
             "id": user.id.0,

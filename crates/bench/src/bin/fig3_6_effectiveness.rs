@@ -2,6 +2,9 @@
 //! representation models over the 8 figure sources, for a user group
 //! (`--group all|is|bu|ip`; default prints all four figures), with the
 //! CHR and RAN baselines.
+//!
+//! Accepts the shared harness flags (`--help` lists them); when the sweep
+//! is not cached yet, `--jobs N` fans it across N worker threads.
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_core::{ModelFamily, RepresentationSource};

@@ -5,6 +5,11 @@
 //! As in the paper, TTime covers building the user models of all users
 //! (including the one-off topic-model training `M(s)`), and ETime covers
 //! scoring and ranking every user's test set.
+//!
+//! Accepts the shared harness flags (`--help` lists them); when the sweep
+//! is not cached yet, `--jobs N` fans it across N worker threads. Note
+//! that per-run timings are noisier under a parallel sweep — prefer
+//! `--jobs 1` when regenerating this figure from scratch.
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_core::timing::human;

@@ -6,7 +6,17 @@
 //! ```
 //!
 //! Results are cached under `results/sweep_<scale>_<seed>.json`; the figure
-//! and table binaries load the cache (or trigger the sweep themselves).
+//! and table binaries load the cache (or trigger the sweep themselves). A
+//! cache is only reused when its recorded options — scale, seed,
+//! iteration scale and the `--families`/`--sources` filters — match the
+//! request; anything else (including pre-metadata cache files) is
+//! discarded and re-run.
+//!
+//! Accepts the shared harness flags (`--help` lists them). `--jobs N` fans
+//! the sweep across N worker threads (default: all cores); the measurements
+//! are byte-identical for every N because results are collected in
+//! canonical (source, configuration) order and all randomness is seeded
+//! per (user, document, configuration).
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_sim::usertype::UserGroup;

@@ -10,6 +10,9 @@
 //! For each pair the *best* configuration per family on the chosen source
 //! is compared (mirroring a best-vs-best reading), along with a
 //! mean-over-configurations comparison.
+//!
+//! Accepts the shared harness flags (`--help` lists them); when the sweep
+//! is not cached yet, `--jobs N` fans it across N worker threads.
 
 use std::collections::HashMap;
 

@@ -1,6 +1,9 @@
 //! Regenerates **Table 2**: dataset statistics for each user group —
 //! outgoing tweets (TR), retweets (R), incoming tweets (E) and followers'
 //! tweets (F), with min/mean/max per user.
+//!
+//! Accepts the shared harness flags (`--help` lists them); `--jobs` is
+//! accepted but has no effect here, since no sweep runs.
 
 use pmr_bench::HarnessOptions;
 use pmr_sim::stats::Table2;
@@ -13,7 +16,11 @@ fn main() {
     let partition = partition_users(&corpus);
     let table = Table2::compute(&corpus, &partition);
 
-    println!("Table 2: Statistics for each user group (simulated corpus, seed {}, scale {})", opts.seed, opts.scale.name());
+    println!(
+        "Table 2: Statistics for each user group (simulated corpus, seed {}, scale {})",
+        opts.seed,
+        opts.scale.name()
+    );
     println!("{:<24} {:>10} {:>10} {:>10} {:>10}", "", "IS", "BU", "IP", "All Users");
     let cols: Vec<&GroupStats> = [UserGroup::IS, UserGroup::BU, UserGroup::IP, UserGroup::All]
         .iter()

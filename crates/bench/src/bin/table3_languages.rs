@@ -2,6 +2,9 @@
 //! identified with the paper's pipeline — clean every tweet of Twitter
 //! markup, pool per user, detect the user's prevalent language, assign all
 //! of the user's tweets to it.
+//!
+//! Accepts the shared harness flags (`--help` lists them); `--jobs` is
+//! accepted but has no effect here, since no sweep runs.
 
 use pmr_bench::HarnessOptions;
 use pmr_sim::generate_corpus;

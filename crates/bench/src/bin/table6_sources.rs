@@ -1,6 +1,9 @@
 //! Regenerates **Table 6**: the performance of all 13 representation
 //! sources over the 4 user types, as min/mean/max MAP across every
 //! configuration of the nine models, plus the per-user-type average.
+//!
+//! Accepts the shared harness flags (`--help` lists them); when the sweep
+//! is not cached yet, `--jobs N` fans it across N worker threads.
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_core::eval::MapSummary;
@@ -18,10 +21,8 @@ fn main() {
     }
     println!("{:>9}", "Average");
     for group in [UserGroup::All, UserGroup::IS, UserGroup::BU, UserGroup::IP] {
-        let summaries: Vec<MapSummary> = RepresentationSource::ALL
-            .iter()
-            .map(|&s| cache.source_summary(s, group))
-            .collect();
+        let summaries: Vec<MapSummary> =
+            RepresentationSource::ALL.iter().map(|&s| cache.source_summary(s, group)).collect();
         for (stat, pick) in [
             ("Min MAP", &(|s: &MapSummary| s.min) as &dyn Fn(&MapSummary) -> f64),
             ("Mean MAP", &|s: &MapSummary| s.mean),

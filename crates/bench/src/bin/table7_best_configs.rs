@@ -2,6 +2,9 @@
 //! representation model and representation source (highest mean MAP across
 //! all user types — we rank by All-Users MAP, which averages the same
 //! per-user APs).
+//!
+//! Accepts the shared harness flags (`--help` lists them); when the sweep
+//! is not cached yet, `--jobs N` fans it across N worker threads.
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_core::{ModelFamily, RepresentationSource};
@@ -17,7 +20,11 @@ fn main() {
             match cache.best_config(family, source) {
                 Some(best) => {
                     let map = cache.group_map(best, pmr_sim::usertype::UserGroup::All);
-                    println!("  {:<3} {:<40} (MAP {map:.3})", source.name(), best.config.describe());
+                    println!(
+                        "  {:<3} {:<40} (MAP {map:.3})",
+                        source.name(),
+                        best.config.describe()
+                    );
                 }
                 None => println!("  {:<3} (no measurement)", source.name()),
             }

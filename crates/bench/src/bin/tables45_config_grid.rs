@@ -2,6 +2,9 @@
 //! representation models, with the paper's validity and resource-constraint
 //! rules applied (223 configurations in total; PLSA's 48 excluded by the
 //! memory constraint).
+//!
+//! Takes no harness flags — the grid is static, so neither the corpus
+//! options nor `--jobs` apply.
 
 use pmr_core::{ConfigGrid, ModelFamily};
 
@@ -10,13 +13,9 @@ fn main() {
 
     println!("Tables 4 & 5: model configurations after validity + constraint pruning\n");
     println!("Table 4 — context-agnostic (topic) models:");
-    for family in [
-        ModelFamily::LDA,
-        ModelFamily::LLDA,
-        ModelFamily::BTM,
-        ModelFamily::HDP,
-        ModelFamily::HLDA,
-    ] {
+    for family in
+        [ModelFamily::LDA, ModelFamily::LLDA, ModelFamily::BTM, ModelFamily::HDP, ModelFamily::HLDA]
+    {
         println!("  {family:<5} {:>3} configurations", grid.family(family).len());
     }
     println!("\nTable 5 — context-based models:");

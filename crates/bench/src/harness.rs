@@ -1,13 +1,13 @@
 //! Shared harness plumbing: CLI options, the sweep cache, table rendering.
 
-use std::collections::BTreeMap;
-use std::io::Write;
+use std::collections::{BTreeMap, HashSet};
 use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
-use pmr_core::experiment::{ConfigResult, ExperimentRunner, RunnerOptions, SweepResult};
 use pmr_core::eval::MapSummary;
+use pmr_core::executor::{self, Progress};
+use pmr_core::experiment::{ConfigResult, ExperimentRunner, RunnerOptions, SweepResult};
 use pmr_core::recommender::ScoringOptions;
 use pmr_core::split::SplitConfig;
 use pmr_core::{ConfigGrid, ModelFamily, PreparedCorpus, RepresentationSource};
@@ -84,6 +84,8 @@ pub struct HarnessOptions {
     pub out_dir: PathBuf,
     /// User group filter for figure binaries.
     pub group: Option<UserGroup>,
+    /// Sweep worker threads (defaults to the available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for HarnessOptions {
@@ -96,6 +98,7 @@ impl Default for HarnessOptions {
             sources: Vec::new(),
             out_dir: PathBuf::from("results"),
             group: None,
+            jobs: executor::default_jobs(),
         }
     }
 }
@@ -127,7 +130,9 @@ impl HarnessOptions {
                 "--families" => {
                     opts.families = value("--families")
                         .split(',')
-                        .map(|f| parse_family(f).unwrap_or_else(|| usage(&format!("bad family {f}"))))
+                        .map(|f| {
+                            parse_family(f).unwrap_or_else(|| usage(&format!("bad family {f}")))
+                        })
                         .collect();
                 }
                 "--sources" => {
@@ -138,8 +143,7 @@ impl HarnessOptions {
                         list => list
                             .split(',')
                             .map(|s| {
-                                parse_source(s)
-                                    .unwrap_or_else(|| usage(&format!("bad source {s}")))
+                                parse_source(s).unwrap_or_else(|| usage(&format!("bad source {s}")))
                             })
                             .collect(),
                     };
@@ -154,6 +158,13 @@ impl HarnessOptions {
                         "ip" => UserGroup::IP,
                         _ => usage(&format!("bad group {v}")),
                     });
+                }
+                "--jobs" => {
+                    opts.jobs = value("--jobs")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| usage("bad jobs (want an integer >= 1)"));
                 }
                 "--help" | "-h" => usage("help requested"),
                 other => usage(&format!("unknown flag {other}")),
@@ -192,6 +203,31 @@ impl HarnessOptions {
         self.out_dir.join(format!("sweep_{}_{}.json", self.scale.name(), self.seed))
     }
 
+    /// The family filter in canonical form: sorted, deduplicated names.
+    /// Empty means the full grid.
+    pub fn family_filter_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.families.iter().map(|f| f.name().to_owned()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// The effective source list (an empty filter means all thirteen), in
+    /// sweep order. Order matters: it determines the canonical ordering of
+    /// the sweep's measurements.
+    pub fn effective_sources(&self) -> Vec<RepresentationSource> {
+        if self.sources.is_empty() {
+            RepresentationSource::ALL.to_vec()
+        } else {
+            self.sources.clone()
+        }
+    }
+
+    /// Names of [`Self::effective_sources`].
+    pub fn effective_source_names(&self) -> Vec<String> {
+        self.effective_sources().iter().map(|s| s.name().to_owned()).collect()
+    }
+
     /// Generate and prepare the corpus.
     pub fn prepare_corpus(&self) -> PreparedCorpus {
         let corpus = generate_corpus(&self.sim_config());
@@ -204,7 +240,10 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale smoke|default|full] [--seed N] [--iter-scale F]\n\
          \x20      [--families TN,CN,...] [--sources all|figures|R,T,...]\n\
-         \x20      [--out DIR] [--group all|is|bu|ip]"
+         \x20      [--out DIR] [--group all|is|bu|ip] [--jobs N]\n\
+         \n\
+         --jobs N fans the sweep across N worker threads (default: all\n\
+         cores); results are identical for every N."
     );
     std::process::exit(2);
 }
@@ -239,6 +278,12 @@ pub struct SweepCache {
     pub seed: u64,
     /// Iteration multiplier used.
     pub iteration_scale: f64,
+    /// Family filter the sweep ran with, as sorted names (empty = full
+    /// grid). Caches produced under a filter must not masquerade as full
+    /// sweeps, so this is validated on load.
+    pub families: Vec<String>,
+    /// The effective representation sources, in sweep order.
+    pub sources: Vec<String>,
     /// Group name → member user ids (only users with a valid split).
     pub groups: BTreeMap<String, Vec<u32>>,
     /// Group name → (CHR MAP, RAN MAP).
@@ -248,17 +293,15 @@ pub struct SweepCache {
 }
 
 impl SweepCache {
-    /// Load the cached sweep for `opts`, or run it (and cache it).
+    /// Load the cached sweep for `opts`, or run it (and cache it). A cache
+    /// produced under different options (scale, seed, iteration scale, or
+    /// family/source filters) is never reused — it is re-run with a stderr
+    /// note instead, so a filtered smoke sweep can't silently stand in for
+    /// the full grid.
     pub fn load_or_run(opts: &HarnessOptions) -> SweepCache {
         let path = opts.sweep_path();
-        if let Ok(bytes) = std::fs::read(&path) {
-            match serde_json::from_slice::<SweepCache>(&bytes) {
-                Ok(cache) => {
-                    eprintln!("loaded cached sweep from {}", path.display());
-                    return cache;
-                }
-                Err(e) => eprintln!("ignoring unreadable cache {}: {e}", path.display()),
-            }
+        if let Some(cache) = Self::load_if_valid(opts) {
+            return cache;
         }
         let cache = Self::run(opts);
         if let Some(dir) = path.parent() {
@@ -271,58 +314,118 @@ impl SweepCache {
         cache
     }
 
-    /// Run the sweep for `opts` without touching the cache.
+    /// Load the cached sweep for `opts` if it exists, parses, and was
+    /// produced under the same options; otherwise explain on stderr and
+    /// return `None`. Pre-metadata caches (without the `families`/`sources`
+    /// fields) fail to parse and are discarded.
+    pub fn load_if_valid(opts: &HarnessOptions) -> Option<SweepCache> {
+        let path = opts.sweep_path();
+        let bytes = std::fs::read(&path).ok()?;
+        match serde_json::from_slice::<SweepCache>(&bytes) {
+            Ok(cache) => match cache.matches(opts) {
+                Ok(()) => {
+                    eprintln!("loaded cached sweep from {}", path.display());
+                    Some(cache)
+                }
+                Err(why) => {
+                    eprintln!(
+                        "cached sweep {} was produced under different options \
+                         ({why}); re-running",
+                        path.display()
+                    );
+                    None
+                }
+            },
+            Err(e) => {
+                eprintln!("ignoring unreadable cache {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Check that this cache was produced under `opts`; the error names the
+    /// first mismatching option.
+    pub fn matches(&self, opts: &HarnessOptions) -> Result<(), String> {
+        if self.scale != opts.scale.name() {
+            return Err(format!("scale {} vs requested {}", self.scale, opts.scale.name()));
+        }
+        if self.seed != opts.seed {
+            return Err(format!("seed {} vs requested {}", self.seed, opts.seed));
+        }
+        if self.iteration_scale != opts.iteration_scale {
+            return Err(format!(
+                "iter-scale {} vs requested {}",
+                self.iteration_scale, opts.iteration_scale
+            ));
+        }
+        let families = opts.family_filter_names();
+        if self.families != families {
+            return Err(format!(
+                "family filter [{}] vs requested [{}] (empty = full grid)",
+                self.families.join(","),
+                families.join(",")
+            ));
+        }
+        let sources = opts.effective_source_names();
+        if self.sources != sources {
+            return Err(format!(
+                "sources [{}] vs requested [{}]",
+                self.sources.join(","),
+                sources.join(",")
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run the sweep for `opts` without touching the cache, fanning the
+    /// runs across `opts.jobs` worker threads. The task list is laid out in
+    /// canonical (source, config-index) order and the executor restores
+    /// that order on collection, so the resulting cache JSON is identical
+    /// for every `--jobs` value (wall-clock timing fields aside).
     pub fn run(opts: &HarnessOptions) -> SweepCache {
         let prepared = opts.prepare_corpus();
         let runner = ExperimentRunner::new(&prepared);
         let runner_opts = opts.runner_options();
         let grid = ConfigGrid::paper();
-        let sources: Vec<RepresentationSource> = if opts.sources.is_empty() {
-            RepresentationSource::ALL.to_vec()
-        } else {
-            opts.sources.clone()
-        };
+        let sources = opts.effective_sources();
         let configs: Vec<_> = grid
             .configs()
             .iter()
             .filter(|c| opts.families.is_empty() || opts.families.contains(&c.family()))
             .collect();
-        let total: usize = sources
+        let tasks: Vec<(RepresentationSource, &pmr_core::ModelConfiguration)> = sources
             .iter()
-            .map(|&s| configs.iter().filter(|c| c.valid_for_source(s)).count())
-            .sum();
+            .flat_map(|&source| {
+                configs
+                    .iter()
+                    .filter(move |c| c.valid_for_source(source))
+                    .map(move |&c| (source, c))
+            })
+            .collect();
+        let total = tasks.len();
+        let jobs = opts.jobs.clamp(1, total.max(1));
         eprintln!(
-            "sweep: {} configs × {} sources = {total} runs at scale {} (iter-scale {})",
+            "sweep: {} configs × {} sources = {total} runs at scale {} \
+             (iter-scale {}, jobs {jobs})",
             configs.len(),
             sources.len(),
             opts.scale.name(),
             opts.iteration_scale
         );
-        let mut sweep = SweepResult::default();
-        let mut done = 0usize;
-        let t0 = std::time::Instant::now();
-        for &source in &sources {
-            for config in &configs {
-                if !config.valid_for_source(source) {
-                    continue;
-                }
-                sweep.results.push(runner.run(config, source, UserGroup::All, &runner_opts));
-                done += 1;
-                if done.is_multiple_of(25) || done == total {
-                    eprint!(
-                        "\r  {done}/{total} runs ({:.0}s elapsed)   ",
-                        t0.elapsed().as_secs_f64()
-                    );
-                    let _ = std::io::stderr().flush();
-                }
-            }
-        }
-        eprintln!();
+        let progress = Progress::new(total, 25);
+        // Keep jobs × inner-threads ≈ n_cpu while the pool is active.
+        let _inner = executor::inner_threads_for_jobs(jobs);
+        let results = executor::run_tasks(tasks, jobs, |_, (source, config)| {
+            let result = runner.run(config, source, UserGroup::All, &runner_opts);
+            progress.tick();
+            result
+        });
+        progress.finish();
+        let sweep = SweepResult { results };
         let mut groups = BTreeMap::new();
         let mut baselines = BTreeMap::new();
         for group in UserGroup::ALL {
-            let users: Vec<u32> =
-                runner.group_users(group).into_iter().map(|u| u.0).collect();
+            let users: Vec<u32> = runner.group_users(group).into_iter().map(|u| u.0).collect();
             let chr = runner.chronological_map(group);
             let ran = runner.random_map(group, &runner_opts);
             groups.insert(group.name().to_owned(), users);
@@ -332,6 +435,8 @@ impl SweepCache {
             scale: opts.scale.name().to_owned(),
             seed: opts.seed,
             iteration_scale: opts.iteration_scale,
+            families: opts.family_filter_names(),
+            sources: opts.effective_source_names(),
             groups,
             baselines,
             sweep,
@@ -346,9 +451,19 @@ impl SweepCache {
             .unwrap_or_default()
     }
 
-    /// MAP of one measurement restricted to a group.
-    pub fn group_map(&self, result: &ConfigResult, group: UserGroup) -> f64 {
-        let members = self.group_members(group);
+    /// Members of a group as a set, for repeated per-result filtering.
+    /// Build this once per aggregation instead of per `(result, group)`
+    /// pair — the old per-call `Vec` + linear `contains` made every summary
+    /// quadratic in the user count.
+    pub fn group_member_set(&self, group: UserGroup) -> HashSet<UserId> {
+        self.groups
+            .get(group.name())
+            .map(|ids| ids.iter().map(|&i| UserId(i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// MAP of one measurement restricted to a precomputed member set.
+    pub fn group_map_in(result: &ConfigResult, members: &HashSet<UserId>) -> f64 {
         let aps: Vec<f64> = result
             .per_user_ap
             .iter()
@@ -362,6 +477,11 @@ impl SweepCache {
         }
     }
 
+    /// MAP of one measurement restricted to a group.
+    pub fn group_map(&self, result: &ConfigResult, group: UserGroup) -> f64 {
+        Self::group_map_in(result, &self.group_member_set(group))
+    }
+
     /// Min/mean/max MAP of `(family, source)` over its configurations for a
     /// group — one bar triple of Figures 3–6.
     pub fn summary(
@@ -370,12 +490,13 @@ impl SweepCache {
         source: RepresentationSource,
         group: UserGroup,
     ) -> MapSummary {
+        let members = self.group_member_set(group);
         let maps: Vec<f64> = self
             .sweep
             .results
             .iter()
             .filter(|r| r.family == family && r.source == source)
-            .map(|r| self.group_map(r, group))
+            .map(|r| Self::group_map_in(r, &members))
             .collect();
         MapSummary::from_maps(&maps)
     }
@@ -383,12 +504,13 @@ impl SweepCache {
     /// Min/mean/max MAP of a source over every configuration — one Table 6
     /// cell triple.
     pub fn source_summary(&self, source: RepresentationSource, group: UserGroup) -> MapSummary {
+        let members = self.group_member_set(group);
         let maps: Vec<f64> = self
             .sweep
             .results
             .iter()
             .filter(|r| r.source == source)
-            .map(|r| self.group_map(r, group))
+            .map(|r| Self::group_map_in(r, &members))
             .collect();
         MapSummary::from_maps(&maps)
     }
@@ -400,15 +522,14 @@ impl SweepCache {
         family: ModelFamily,
         source: RepresentationSource,
     ) -> Option<&ConfigResult> {
-        self.sweep
-            .results
-            .iter()
-            .filter(|r| r.family == family && r.source == source)
-            .max_by(|a, b| {
-                let ma = self.group_map(a, UserGroup::All);
-                let mb = self.group_map(b, UserGroup::All);
+        let members = self.group_member_set(UserGroup::All);
+        self.sweep.results.iter().filter(|r| r.family == family && r.source == source).max_by(
+            |a, b| {
+                let ma = Self::group_map_in(a, &members);
+                let mb = Self::group_map_in(b, &members);
                 ma.partial_cmp(&mb).expect("MAPs are finite")
-            })
+            },
+        )
     }
 
     /// The (CHR, RAN) baselines of a group.
@@ -441,6 +562,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_jobs_flag() {
+        let opts = HarnessOptions::parse(["--jobs", "3"].iter().map(|s| s.to_string()));
+        assert_eq!(opts.jobs, 3);
+        let opts = HarnessOptions::parse(std::iter::empty());
+        assert!(opts.jobs >= 1, "default jobs comes from available parallelism");
+    }
+
+    #[test]
     fn iter_scale_override_sticks() {
         let opts = HarnessOptions::parse(
             ["--iter-scale", "0.5", "--scale", "smoke"].iter().map(|s| s.to_string()),
@@ -450,28 +579,87 @@ mod tests {
 
     #[test]
     fn source_keywords_expand() {
-        let opts =
-            HarnessOptions::parse(["--sources", "figures"].iter().map(|s| s.to_string()));
+        let opts = HarnessOptions::parse(["--sources", "figures"].iter().map(|s| s.to_string()));
         assert_eq!(opts.sources.len(), 8);
         let opts = HarnessOptions::parse(["--sources", "all"].iter().map(|s| s.to_string()));
         assert_eq!(opts.sources.len(), 13);
     }
 
-    #[test]
-    fn tiny_sweep_roundtrips_through_cache_format() {
-        let opts = HarnessOptions {
+    /// A 9-run TNG × R smoke sweep: small enough for unit tests.
+    fn tiny_opts() -> HarnessOptions {
+        HarnessOptions {
             families: vec![ModelFamily::TNG],
             sources: vec![RepresentationSource::R],
             iteration_scale: 0.01,
             ..HarnessOptions::default()
-        };
+        }
+    }
+
+    /// Serialize a sweep with the wall-clock timing fields zeroed, so two
+    /// runs can be compared byte-for-byte.
+    fn json_sans_timings(sweep: &SweepResult) -> String {
+        let mut sweep = sweep.clone();
+        for r in &mut sweep.results {
+            r.train_time = std::time::Duration::ZERO;
+            r.test_time = std::time::Duration::ZERO;
+        }
+        serde_json::to_string(&sweep).unwrap()
+    }
+
+    #[test]
+    fn tiny_sweep_roundtrips_through_cache_format() {
+        let opts = tiny_opts();
         let cache = SweepCache::run(&opts);
         assert_eq!(cache.sweep.results.len(), 9, "TNG spans 3 n-sizes × 3 similarities");
-        let summary =
-            cache.summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::All);
+        let summary = cache.summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::All);
         assert!(summary.max > 0.0);
+        assert_eq!(cache.families, vec!["TNG".to_owned()]);
+        assert_eq!(cache.sources, vec!["R".to_owned()]);
         let json = serde_json::to_string(&cache).unwrap();
         let back: SweepCache = serde_json::from_str(&json).unwrap();
         assert_eq!(back.sweep.results.len(), 9);
+        assert!(back.matches(&opts).is_ok());
+    }
+
+    #[test]
+    fn sweep_json_is_identical_for_any_job_count() {
+        let sequential = SweepCache::run(&HarnessOptions { jobs: 1, ..tiny_opts() });
+        let parallel = SweepCache::run(&HarnessOptions { jobs: 4, ..tiny_opts() });
+        assert_eq!(
+            json_sans_timings(&sequential.sweep),
+            json_sans_timings(&parallel.sweep),
+            "jobs=1 and jobs=4 must produce byte-identical measurements"
+        );
+        assert_eq!(sequential.baselines, parallel.baselines);
+        assert_eq!(sequential.groups, parallel.groups);
+    }
+
+    #[test]
+    fn filtered_cache_is_rejected_for_full_grid() {
+        let dir = std::env::temp_dir().join(format!("pmr_cache_validation_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let filtered = HarnessOptions { out_dir: dir.clone(), ..tiny_opts() };
+        let cache = SweepCache::run(&filtered);
+        std::fs::write(filtered.sweep_path(), serde_json::to_vec(&cache).unwrap()).unwrap();
+        // The full grid at the same scale/seed maps to the same cache path,
+        // but must not reuse the filtered measurements.
+        let full = HarnessOptions { out_dir: dir.clone(), ..HarnessOptions::default() };
+        assert_eq!(filtered.sweep_path(), full.sweep_path());
+        assert!(full.families.is_empty() && full.sources.is_empty());
+        assert!(cache.matches(&full).is_err());
+        assert!(SweepCache::load_if_valid(&full).is_none());
+        // The options that produced the cache still load it.
+        assert!(SweepCache::load_if_valid(&filtered).is_some());
+        // Different iteration scale: rejected.
+        let coarser = HarnessOptions { iteration_scale: 0.5, ..filtered.clone() };
+        assert!(SweepCache::load_if_valid(&coarser).is_none());
+        // A pre-metadata cache (no `families` field) fails to parse and is
+        // discarded rather than trusted.
+        let json = serde_json::to_string(&cache).unwrap();
+        let legacy = json.replacen("\"families\":", "\"families_legacy\":", 1);
+        assert_ne!(json, legacy, "cache JSON must carry the families field");
+        std::fs::write(filtered.sweep_path(), legacy).unwrap();
+        assert!(SweepCache::load_if_valid(&filtered).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -117,10 +117,7 @@ mod tests {
             negatives: (2..10u32).map(pmr_sim::TweetId).collect(),
         };
         let sampled = random_ap(&split, 5_000, 3);
-        assert!(
-            (sampled - expected).abs() < 0.02,
-            "sampled {sampled} vs expectation {expected}"
-        );
+        assert!((sampled - expected).abs() < 0.02, "sampled {sampled} vs expectation {expected}");
     }
 
     #[test]

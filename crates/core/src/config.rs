@@ -529,13 +529,11 @@ mod tests {
     fn no_invalid_bag_combinations_survive() {
         let grid = ConfigGrid::paper();
         for c in grid.configs() {
-            if let ModelConfiguration::Bag { char_grams, weighting, aggregation, similarity, .. } =
-                c
+            if let ModelConfiguration::Bag {
+                char_grams, weighting, aggregation, similarity, ..
+            } = c
             {
-                assert!(
-                    bag_combination_is_valid(*weighting, *aggregation, *similarity),
-                    "{c:?}"
-                );
+                assert!(bag_combination_is_valid(*weighting, *aggregation, *similarity), "{c:?}");
                 if *char_grams {
                     assert_ne!(*weighting, WeightingScheme::TFIDF, "CN never uses TF-IDF");
                 }

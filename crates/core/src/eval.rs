@@ -71,10 +71,7 @@ pub fn mean_average_precision(aps: &[f64]) -> f64 {
 /// MAP deviation: `max − min` MAP across a model's configurations — the
 /// paper's robustness measure (lower is more robust).
 pub fn map_deviation(maps: &[f64]) -> f64 {
-    match (
-        maps.iter().cloned().reduce(f64::min),
-        maps.iter().cloned().reduce(f64::max),
-    ) {
+    match (maps.iter().cloned().reduce(f64::min), maps.iter().cloned().reduce(f64::max)) {
         (Some(lo), Some(hi)) => hi - lo,
         _ => 0.0,
     }

@@ -81,8 +81,7 @@ impl SweepResult {
         source: RepresentationSource,
         group: UserGroup,
     ) -> MapSummary {
-        let maps: Vec<f64> =
-            self.select(family, source, group).iter().map(|r| r.map).collect();
+        let maps: Vec<f64> = self.select(family, source, group).iter().map(|r| r.map).collect();
         MapSummary::from_maps(&maps)
     }
 
@@ -113,23 +112,15 @@ impl SweepResult {
 
     /// TTime statistics of a family across all its measurements (Fig. 7i).
     pub fn train_time_stats(&self, family: ModelFamily) -> TimeStats {
-        let ds: Vec<Duration> = self
-            .results
-            .iter()
-            .filter(|r| r.family == family)
-            .map(|r| r.train_time)
-            .collect();
+        let ds: Vec<Duration> =
+            self.results.iter().filter(|r| r.family == family).map(|r| r.train_time).collect();
         TimeStats::from_durations(&ds)
     }
 
     /// ETime statistics of a family across all its measurements (Fig. 7ii).
     pub fn test_time_stats(&self, family: ModelFamily) -> TimeStats {
-        let ds: Vec<Duration> = self
-            .results
-            .iter()
-            .filter(|r| r.family == family)
-            .map(|r| r.test_time)
-            .collect();
+        let ds: Vec<Duration> =
+            self.results.iter().filter(|r| r.family == family).map(|r| r.test_time).collect();
         TimeStats::from_durations(&ds)
     }
 
@@ -195,7 +186,9 @@ impl<'a> ExperimentRunner<'a> {
         }
     }
 
-    /// Sweep a grid over sources for one group.
+    /// Sweep a grid over sources for one group, fanning the runs across the
+    /// machine's available parallelism. Equivalent to
+    /// [`sweep_jobs`](Self::sweep_jobs) with the default worker count.
     pub fn sweep(
         &self,
         grid: &ConfigGrid,
@@ -203,12 +196,32 @@ impl<'a> ExperimentRunner<'a> {
         group: UserGroup,
         opts: &RunnerOptions,
     ) -> SweepResult {
-        let mut results = Vec::new();
-        for &source in sources {
-            for config in grid.valid_for(source) {
-                results.push(self.run(config, source, group, opts));
-            }
-        }
+        self.sweep_jobs(grid, sources, group, opts, crate::executor::default_jobs())
+    }
+
+    /// Sweep a grid over sources for one group on a pool of `jobs` worker
+    /// threads. Results are returned in canonical (source, config-index)
+    /// order — the same order the sequential nested loop would produce — so
+    /// the `SweepResult` is identical regardless of `jobs` or scheduling
+    /// (up to the wall-clock `train_time`/`test_time` fields).
+    pub fn sweep_jobs(
+        &self,
+        grid: &ConfigGrid,
+        sources: &[RepresentationSource],
+        group: UserGroup,
+        opts: &RunnerOptions,
+        jobs: usize,
+    ) -> SweepResult {
+        let tasks: Vec<(RepresentationSource, &ModelConfiguration)> = sources
+            .iter()
+            .flat_map(|&source| {
+                grid.valid_for(source).into_iter().map(move |config| (source, config))
+            })
+            .collect();
+        let _inner = crate::executor::inner_threads_for_jobs(jobs);
+        let results = crate::executor::run_tasks(tasks, jobs, |_, (source, config)| {
+            self.run(config, source, group, opts)
+        });
         SweepResult { results }
     }
 
@@ -355,10 +368,11 @@ mod tests {
         let sources = [RepresentationSource::R, RepresentationSource::T];
         let sweep = runner.sweep(&grid, &sources, UserGroup::IP, &opts);
         assert_eq!(sweep.results.len(), 4);
-        let summary =
-            sweep.map_summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::IP);
+        let summary = sweep.map_summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::IP);
         assert!(summary.max >= summary.min);
-        assert!(sweep.best_config(ModelFamily::TN, RepresentationSource::R, UserGroup::IP).is_some());
+        assert!(sweep
+            .best_config(ModelFamily::TN, RepresentationSource::R, UserGroup::IP)
+            .is_some());
         assert!(sweep.train_time_stats(ModelFamily::TN).max > Duration::ZERO);
     }
 

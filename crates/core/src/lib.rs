@@ -26,11 +26,12 @@
 pub mod baseline;
 pub mod config;
 pub mod eval;
+pub mod executor;
 pub mod experiment;
 pub mod online;
 pub mod prepare;
-pub mod significance;
 pub mod recommender;
+pub mod significance;
 pub mod source;
 pub mod split;
 pub mod taxonomy;
@@ -42,8 +43,8 @@ pub use eval::{average_precision, map_deviation, mean_average_precision};
 pub use experiment::{ExperimentRunner, RunnerOptions, SweepResult};
 pub use online::{OnlineBagModel, OnlineGraphModel};
 pub use prepare::PreparedCorpus;
-pub use significance::{paired_randomization_test, wilcoxon_signed_rank, PairedComparison};
 pub use recommender::score_configuration;
+pub use significance::{paired_randomization_test, wilcoxon_signed_rank, PairedComparison};
 pub use source::RepresentationSource;
 pub use split::{SplitConfig, TrainTestSplit, UserSplit};
 pub use taxonomy::TaxonomyClass;

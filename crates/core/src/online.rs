@@ -86,12 +86,7 @@ pub struct OnlineGraphModel {
 impl OnlineGraphModel {
     /// Start an empty model. `window` is the co-occurrence window (= n).
     pub fn new(similarity: GraphSimilarity, window: usize) -> Self {
-        OnlineGraphModel {
-            space: GraphSpace::new(),
-            similarity,
-            window,
-            user: NGramGraph::new(),
-        }
+        OnlineGraphModel { space: GraphSpace::new(), similarity, window, user: NGramGraph::new() }
     }
 
     /// Fold one observed document into the model via the update operator.
@@ -126,20 +121,17 @@ mod tests {
     fn online_centroid_matches_batch_centroid_without_decay() {
         let train = docs();
         let vectorizer = BagVectorizer::fit(WeightingScheme::TF, train.iter());
-        let mut online =
-            OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 1.0);
+        let mut online = OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 1.0);
         for d in &train {
             online.observe(d);
         }
-        let vectors: Vec<SparseVector> =
-            train.iter().map(|d| vectorizer.transform(d)).collect();
+        let vectors: Vec<SparseVector> = train.iter().map(|d| vectorizer.transform(d)).collect();
         let batch = AggregationFunction::Centroid.aggregate(&vectors, &[]);
         // Online accumulates the *sum* of unit vectors; the centroid divides
         // by |D| — a scale factor cosine ignores.
         let probe = vec!["cats".to_owned(), "purr".to_owned()];
         let online_score = online.score(&probe);
-        let batch_score =
-            BagSimilarity::Cosine.compare(&batch, &vectorizer.transform(&probe));
+        let batch_score = BagSimilarity::Cosine.compare(&batch, &vectorizer.transform(&probe));
         assert!((online_score - batch_score).abs() < 1e-6);
     }
 
@@ -147,8 +139,7 @@ mod tests {
     fn decay_forgets_old_interests() {
         let train = docs();
         let vectorizer = BagVectorizer::fit(WeightingScheme::TF, train.iter());
-        let mut fast_forget =
-            OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 0.2);
+        let mut fast_forget = OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 0.2);
         let mut no_forget = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 1.0);
         // Old interest: cats. New interest: rust.
         let seq = ["cats purr softly", "cats nap often", "rust code compiles"];

@@ -29,9 +29,8 @@ use pmr_sim::{TweetId, UserId};
 use pmr_text::{char_ngrams, token_ngrams};
 use pmr_topics::pooling::{pool_indexed, PoolInput};
 use pmr_topics::{
-    BtmConfig, BtmModel, HdpConfig, HdpModel, HldaConfig, HldaModel, Labeler, LdaConfig,
-    LdaModel, LldaConfig, LldaModel, PlsaConfig, PlsaModel, PoolingScheme, TopicCorpus,
-    TopicModel,
+    BtmConfig, BtmModel, HdpConfig, HdpModel, HldaConfig, HldaModel, Labeler, LdaConfig, LdaModel,
+    LldaConfig, LldaModel, PlsaConfig, PlsaModel, PoolingScheme, TopicCorpus, TopicModel,
 };
 
 use crate::config::{AggKind, ModelConfiguration};
@@ -116,10 +115,8 @@ pub fn score_configuration(
                 let vectorizer = BagVectorizer::fit(*weighting, train_grams.iter());
                 let vectors: Vec<SparseVector> =
                     train_grams.iter().map(|g| vectorizer.transform(g)).collect();
-                let (pos, neg): (Vec<_>, Vec<_>) = vectors
-                    .iter()
-                    .zip(pos_flags)
-                    .partition(|(_, &p)| p);
+                let (pos, neg): (Vec<_>, Vec<_>) =
+                    vectors.iter().zip(pos_flags).partition(|(_, &p)| p);
                 let positives: Vec<SparseVector> =
                     pos.into_iter().map(|(v, _)| v.clone()).collect();
                 let negatives: Vec<SparseVector> =
@@ -202,20 +199,12 @@ pub fn score_configuration(
             })
         }
         ModelConfiguration::Hlda { alpha, beta, gamma, aggregation } => {
-            topic_scores(
-                prepared,
-                source,
-                users,
-                PoolingScheme::UP,
-                *aggregation,
-                opts,
-                |corpus| {
-                    let mut cfg =
-                        HldaConfig::paper(*alpha, *beta, *gamma, opts.scale(1_000), opts.seed);
-                    cfg.infer_iterations = opts.infer_iterations.min(10);
-                    Box::new(HldaModel::train(&cfg, corpus))
-                },
-            )
+            topic_scores(prepared, source, users, PoolingScheme::UP, *aggregation, opts, |corpus| {
+                let mut cfg =
+                    HldaConfig::paper(*alpha, *beta, *gamma, opts.scale(1_000), opts.seed);
+                cfg.infer_iterations = opts.infer_iterations.min(10);
+                Box::new(HldaModel::train(&cfg, corpus))
+            })
         }
         ModelConfiguration::Plsa { topics, iterations, pooling, aggregation } => {
             topic_scores(prepared, source, users, *pooling, *aggregation, opts, |corpus| {
@@ -250,27 +239,24 @@ where
     let mut test_time = Duration::ZERO;
     // Work items are independent; run them on scoped threads and collect
     // deterministically by index.
-    let results: Vec<Option<(UserResult, Duration, Duration)>> =
-        parallel_map(users, |&user| {
-            let user_split = split.user(user)?;
-            let train = split.train_ids(corpus, user, source);
-            let test = user_split.test_docs();
-            let flags: Vec<bool> = train
-                .iter()
-                .map(|&id| split.is_positive_train_doc(corpus, user, id))
-                .collect();
-            let (scores, tt, et) = per_user(&train, &test, &flags);
-            let docs: Vec<ScoredDoc> = test
-                .iter()
-                .zip(&scores)
-                .map(|(&id, &score)| ScoredDoc {
-                    score,
-                    relevant: user_split.is_positive(id),
-                    tie_break: crate::eval::tie_break_key(id.0),
-                })
-                .collect();
-            Some((UserResult { user, ap: average_precision(&docs) }, tt, et))
-        });
+    let results: Vec<Option<(UserResult, Duration, Duration)>> = parallel_map(users, |&user| {
+        let user_split = split.user(user)?;
+        let train = split.train_ids(corpus, user, source);
+        let test = user_split.test_docs();
+        let flags: Vec<bool> =
+            train.iter().map(|&id| split.is_positive_train_doc(corpus, user, id)).collect();
+        let (scores, tt, et) = per_user(&train, &test, &flags);
+        let docs: Vec<ScoredDoc> = test
+            .iter()
+            .zip(&scores)
+            .map(|(&id, &score)| ScoredDoc {
+                score,
+                relevant: user_split.is_positive(id),
+                tie_break: crate::eval::tie_break_key(id.0),
+            })
+            .collect();
+        Some((UserResult { user, ap: average_precision(&docs) }, tt, et))
+    });
     for r in results.into_iter().flatten() {
         per_user_results.push(r.0);
         train_time += r.1;
@@ -279,21 +265,21 @@ where
     ScoreOutcome { per_user: per_user_results, train_time, test_time }
 }
 
-/// Run `f` over `items` on scoped threads, preserving order.
+/// Run `f` over `items` on scoped threads, preserving order. Respects the
+/// executor's inner-thread hint so that a parallel sweep of runs does not
+/// oversubscribe the machine with `jobs × n_cpu` threads.
 fn parallel_map<T: Sync, R: Send, F>(items: &[T], f: F) -> Vec<R>
 where
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = crate::executor::inner_threads();
     let chunk = items.len().div_ceil(threads.max(1)).max(1);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (ci, items_chunk) in items.chunks(chunk).enumerate() {
             let f = &f;
-            handles.push((ci, scope.spawn(move || {
-                items_chunk.iter().map(f).collect::<Vec<R>>()
-            })));
+            handles.push((ci, scope.spawn(move || items_chunk.iter().map(f).collect::<Vec<R>>())));
         }
         for (ci, h) in handles {
             let results = h.join().expect("worker panicked");
@@ -324,10 +310,8 @@ where
     let corpus = &prepared.corpus;
     let t0 = Instant::now();
     // Union of all users' train sets for this source.
-    let mut train_union: Vec<TweetId> = users
-        .iter()
-        .flat_map(|&u| split.train_ids(corpus, u, source))
-        .collect();
+    let mut train_union: Vec<TweetId> =
+        users.iter().flat_map(|&u| split.train_ids(corpus, u, source)).collect();
     train_union.sort();
     train_union.dedup();
     // Pool into pseudo-documents.
@@ -343,10 +327,8 @@ where
     let mut topic_corpus =
         TopicCorpus::from_token_docs(pooled.iter().map(|(doc, _)| doc.as_slice()));
     // Labels for Labeled LDA: union of the member tweets' labels.
-    let labeler = Labeler::fit(
-        train_union.iter().map(|&id| prepared.tokens(id)),
-        Labeler::PAPER_MIN_COUNT,
-    );
+    let labeler =
+        Labeler::fit(train_union.iter().map(|&id| prepared.tokens(id)), Labeler::PAPER_MIN_COUNT);
     let mut label_vocab = pmr_topics::label::LabelVocabulary::new();
     topic_corpus.labels = pooled
         .iter()
@@ -395,9 +377,7 @@ where
         let mut neg: Vec<&[f32]> = Vec::new();
         for &id in &train {
             let th = thetas[theta_of[&id]].as_slice();
-            if aggregation != AggKind::Rocchio
-                || split.is_positive_train_doc(corpus, user, id)
-            {
+            if aggregation != AggKind::Rocchio || split.is_positive_train_doc(corpus, user, id) {
                 pos.push(th);
             } else {
                 neg.push(th);
@@ -469,7 +449,6 @@ fn dense_cosine(a: &[f32], b: &[f32]) -> f64 {
         dot / (na.sqrt() * nb.sqrt())
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -98,8 +98,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> PairedComparison {
         }
         i = j + 1;
     }
-    let w_plus: f64 =
-        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+    let w_plus: f64 = diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
     let nf = n as f64;
     let mean = nf * (nf + 1.0) / 4.0;
     let sd = (nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0).sqrt();
@@ -123,7 +122,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x * x).exp();
     if x >= 0.0 {
         result

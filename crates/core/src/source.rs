@@ -142,8 +142,7 @@ impl RepresentationSource {
                 _ => unreachable!("components() only returns atomic sources"),
             }
         };
-        let mut ids: Vec<TweetId> =
-            self.components().iter().flat_map(|&s| atomic(s)).collect();
+        let mut ids: Vec<TweetId> = self.components().iter().flat_map(|&s| atomic(s)).collect();
         ids.sort_by_key(|id| (corpus.tweet(*id).timestamp, *id));
         ids.dedup();
         ids
@@ -168,8 +167,7 @@ mod tests {
     #[test]
     fn thirteen_sources() {
         assert_eq!(RepresentationSource::ALL.len(), 13);
-        let unique: std::collections::HashSet<_> =
-            RepresentationSource::ALL.iter().collect();
+        let unique: std::collections::HashSet<_> = RepresentationSource::ALL.iter().collect();
         assert_eq!(unique.len(), 13);
     }
 
@@ -201,10 +199,7 @@ mod tests {
         for s in RepresentationSource::ALL {
             let ids = s.tweet_ids(&c, u);
             for w in ids.windows(2) {
-                assert!(
-                    c.tweet(w[0]).timestamp <= c.tweet(w[1]).timestamp,
-                    "{s} not time-ordered"
-                );
+                assert!(c.tweet(w[0]).timestamp <= c.tweet(w[1]).timestamp, "{s} not time-ordered");
             }
         }
     }

@@ -55,8 +55,7 @@ pub struct UserSplit {
 impl UserSplit {
     /// Positives and negatives together, in a stable (id) order.
     pub fn test_docs(&self) -> Vec<TweetId> {
-        let mut all: Vec<TweetId> =
-            self.positives.iter().chain(&self.negatives).copied().collect();
+        let mut all: Vec<TweetId> = self.positives.iter().chain(&self.negatives).copied().collect();
         all.sort();
         all
     }
@@ -159,8 +158,7 @@ impl TrainTestSplit {
 }
 
 fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<UserSplit> {
-    let followee_set: HashSet<UserId> =
-        corpus.graph.followees(user).iter().copied().collect();
+    let followee_set: HashSet<UserId> = corpus.graph.followees(user).iter().copied().collect();
     // Feed-retweets: retweets whose original was authored by a followee —
     // the retweets that correspond to rankable incoming documents.
     let feed_retweets: Vec<TweetId> = corpus
@@ -175,14 +173,8 @@ fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<Use
     if feed_retweets.is_empty() {
         return None;
     }
-    let k = ((feed_retweets.len() as f64 * config.test_retweet_fraction).ceil() as usize)
+    let base_k = ((feed_retweets.len() as f64 * config.test_retweet_fraction).ceil() as usize)
         .clamp(1, feed_retweets.len());
-    let sample = &feed_retweets[feed_retweets.len() - k..];
-    let split_time: Timestamp = sample
-        .iter()
-        .map(|&rt| corpus.tweet(rt).timestamp)
-        .min()
-        .expect("sample is non-empty");
     // Everything the user ever retweeted is disqualified from being a
     // negative, regardless of phase.
     let retweeted_ever: HashSet<TweetId> = corpus
@@ -190,23 +182,31 @@ fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<Use
         .iter()
         .map(|&rt| corpus.tweet(rt).retweet_of.expect("retweets point at originals"))
         .collect();
-    // Negative candidates: testing-phase incoming items (originals and
-    // followee retweets alike — both arrive in the feed) whose content the
-    // user never reposted.
-    let mut candidates: Vec<TweetId> = corpus
-        .incoming_of(user)
-        .into_iter()
-        .filter(|&id| {
-            let t = corpus.tweet(id);
-            let content = t.retweet_of.unwrap_or(id);
-            t.timestamp >= split_time && !retweeted_ever.contains(&content)
-        })
-        .collect();
-    candidates.sort();
-    candidates.dedup();
-    if candidates.is_empty() {
-        return None;
-    }
+    let incoming = corpus.incoming_of(user);
+    // A user with a tiny feed can land the 20% boundary at the extreme tail
+    // of the horizon, leaving a testing phase without a single negative
+    // candidate. Widen the retweet sample (pull the boundary earlier) until
+    // candidates exist; users whose base sample already works are untouched.
+    let (sample, split_time, mut candidates) = (base_k..=feed_retweets.len()).find_map(|k| {
+        let sample = &feed_retweets[feed_retweets.len() - k..];
+        let split_time: Timestamp =
+            sample.iter().map(|&rt| corpus.tweet(rt).timestamp).min().expect("sample is non-empty");
+        // Negative candidates: testing-phase incoming items (originals and
+        // followee retweets alike — both arrive in the feed) whose content
+        // the user never reposted.
+        let mut candidates: Vec<TweetId> = incoming
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let t = corpus.tweet(id);
+                let content = t.retweet_of.unwrap_or(id);
+                t.timestamp >= split_time && !retweeted_ever.contains(&content)
+            })
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        (!candidates.is_empty()).then_some((sample, split_time, candidates))
+    })?;
     // Keep the paper's "reasonable proportion between the two classes": if
     // the testing phase cannot supply 4 negatives per positive, trim the
     // positive sample to its most recent entries.
@@ -263,8 +263,7 @@ mod tests {
         for u in split.users() {
             let s = split.user(u).unwrap();
             assert!(!s.positives.is_empty());
-            let followees: HashSet<UserId> =
-                corpus.graph.followees(u).iter().copied().collect();
+            let followees: HashSet<UserId> = corpus.graph.followees(u).iter().copied().collect();
             for &p in &s.positives {
                 let t = corpus.tweet(p);
                 assert!(!t.is_retweet(), "positives are original documents");

@@ -51,11 +51,7 @@ impl GraphSpace {
     /// Every pair of grams at positions `i < j ≤ i + window` is connected;
     /// each co-occurrence adds 1 to the edge weight. This is the windowed
     /// co-occurrence rule of Giannakopoulos et al. with window size `n`.
-    pub fn graph_from_grams<S: AsRef<str>>(
-        &mut self,
-        grams: &[S],
-        window: usize,
-    ) -> NGramGraph {
+    pub fn graph_from_grams<S: AsRef<str>>(&mut self, grams: &[S], window: usize) -> NGramGraph {
         assert!(window >= 1, "window must be at least 1");
         let ids: Vec<TermId> = grams.iter().map(|g| self.vocab.intern(g.as_ref())).collect();
         let mut edges: HashMap<u64, f32> = HashMap::new();

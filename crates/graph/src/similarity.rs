@@ -161,7 +161,7 @@ mod tests {
         let mut space = GraphSpace::new();
         let a = space.graph_from_grams(&grams("x y x y"), 1); // x-y weight 3
         let b = space.graph_from_grams(&grams("x y z"), 1); // x-y weight 1, y-z weight 1
-        // Common edge x-y: min/max = 1/3. |Ga|=1, |Gb|=2.
+                                                            // Common edge x-y: min/max = 1/3. |Ga|=1, |Gb|=2.
         assert!((value(&a, &b) - (1.0 / 3.0) / 2.0).abs() < 1e-9);
         assert!((normalized_value(&a, &b) - (1.0 / 3.0) / 1.0).abs() < 1e-9);
         assert!((containment(&a, &b) - 1.0).abs() < 1e-9);

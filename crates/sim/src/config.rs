@@ -193,10 +193,7 @@ impl SimConfig {
                 ScalePreset::Default => 240,
                 ScalePreset::Full => 420,
             },
-            background_outgoing: (
-                ((3.0 * f) as usize).max(2),
-                ((15.0 * f) as usize).max(6),
-            ),
+            background_outgoing: (((3.0 * f) as usize).max(2), ((15.0 * f) as usize).max(6)),
             background_retweet_share: 0.3,
             num_topics: 40,
             interest_alpha: 0.08,
@@ -231,7 +228,7 @@ impl SimConfig {
             p_secondary_language: 0.05,
             cross_language_discount: 0.1,
             retweet_gamma: 12.0,
-            gamma_activity_coupling: 0.45,
+            gamma_activity_coupling: 0.6,
             retweet_from_feed: 0.75,
             max_feed_retweet_share: 0.15,
             p_reciprocal: 0.35,

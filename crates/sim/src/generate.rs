@@ -104,10 +104,8 @@ fn build_users(rng: &mut StdRng, cfg: &SimConfig) -> Vec<User> {
     }
     for _ in 0..cfg.background_users {
         let id = UserId(users.len() as u32);
-        let outgoing =
-            rng.gen_range(cfg.background_outgoing.0..=cfg.background_outgoing.1).max(1);
-        let planned_retweets =
-            ((outgoing as f64) * cfg.background_retweet_share).round() as usize;
+        let outgoing = rng.gen_range(cfg.background_outgoing.0..=cfg.background_outgoing.1).max(1);
+        let planned_retweets = ((outgoing as f64) * cfg.background_retweet_share).round() as usize;
         let planned_tweets = outgoing.saturating_sub(planned_retweets).max(1);
         let language = sample_language(rng, cfg);
         let secondary_language = sample_language(rng, cfg);
@@ -240,12 +238,10 @@ fn generate_retweets(
         let c = cfg.gamma_activity_coupling;
         let gamma_eff = cfg.retweet_gamma * (1.0 - c + c * ratio);
         // Feed pool: originals authored by followees.
-        let feed: Vec<usize> = (0..num_originals)
-            .filter(|&i| graph.follows(u.id, tweets[i].author))
-            .collect();
+        let feed: Vec<usize> =
+            (0..num_originals).filter(|&i| graph.follows(u.id, tweets[i].author)).collect();
         let want_feed = ((u.planned_retweets as f64) * cfg.retweet_from_feed).round() as usize;
-        let n_feed =
-            want_feed.min(((feed.len() as f64) * cfg.max_feed_retweet_share) as usize);
+        let n_feed = want_feed.min(((feed.len() as f64) * cfg.max_feed_retweet_share) as usize);
         let feed_weights: Vec<f64> = feed
             .iter()
             .map(|&i| {
@@ -396,11 +392,7 @@ mod tests {
         let c = smoke_corpus();
         for u in &c.users {
             let got = c.retweets_of(u.id).len();
-            assert!(
-                got <= u.planned_retweets,
-                "user {:?} has more retweets than planned",
-                u.id
-            );
+            assert!(got <= u.planned_retweets, "user {:?} has more retweets than planned", u.id);
             // The feed cap can reduce counts, but discovery backfills.
             assert!(
                 got + 2 >= u.planned_retweets.min(4),
@@ -490,10 +482,8 @@ mod tests {
     #[test]
     fn languages_cover_the_mix() {
         let c = smoke_corpus();
-        let evaluated: Vec<_> =
-            c.users.iter().filter(|u| !u.is_background).collect();
-        let english =
-            evaluated.iter().filter(|u| u.language == Language::English).count();
+        let evaluated: Vec<_> = c.users.iter().filter(|u| !u.is_background).collect();
+        let english = evaluated.iter().filter(|u| u.language == Language::English).count();
         assert!(english > 40, "English must dominate: {english}/60");
         assert!(
             c.users.iter().any(|u| u.language != Language::English),

@@ -107,8 +107,7 @@ impl SocialGraph {
             }
         }
         // Evaluated users with the largest feeds select next.
-        let mut order: Vec<usize> =
-            (0..n).filter(|&i| !users[i].is_background).collect();
+        let mut order: Vec<usize> = (0..n).filter(|&i| !users[i].is_background).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(users[i].planned_incoming));
         for &i in &order {
             let u = users[i].id;
@@ -320,13 +319,9 @@ mod tests {
         let mut evaluated: Vec<&User> = users.iter().filter(|u| !u.is_background).collect();
         evaluated.sort_by_key(|u| u.planned_incoming);
         let k = evaluated.len() / 3;
-        let small_avg: f64 =
-            evaluated[..k].iter().map(|u| feed(u) as f64).sum::<f64>() / k as f64;
-        let large_avg: f64 = evaluated[evaluated.len() - k..]
-            .iter()
-            .map(|u| feed(u) as f64)
-            .sum::<f64>()
-            / k as f64;
+        let small_avg: f64 = evaluated[..k].iter().map(|u| feed(u) as f64).sum::<f64>() / k as f64;
+        let large_avg: f64 =
+            evaluated[evaluated.len() - k..].iter().map(|u| feed(u) as f64).sum::<f64>() / k as f64;
         assert!(
             large_avg > small_avg,
             "large-feed users should receive more: {large_avg} vs {small_avg}"

@@ -157,7 +157,14 @@ impl LanguageModel {
                 (0..n).map(|i| format!("#{}", ascii_fold(&words[i]))).collect()
             })
             .collect();
-        LanguageModel { language, common, topic_words: topic_word_table, phrases, hashtags, headlines }
+        LanguageModel {
+            language,
+            common,
+            topic_words: topic_word_table,
+            phrases,
+            hashtags,
+            headlines,
+        }
     }
 
     /// Draw a common word with a Zipf-like bias toward the head of the list.
@@ -223,10 +230,10 @@ pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
         Language::Japanese => {
             // Hiragana syllables.
             const KANA: &[char] = &[
-                'あ', 'い', 'う', 'え', 'お', 'か', 'き', 'く', 'け', 'こ', 'さ', 'し', 'す',
-                'せ', 'そ', 'た', 'ち', 'つ', 'て', 'と', 'な', 'に', 'ぬ', 'ね', 'の', 'は',
-                'ひ', 'ふ', 'へ', 'ほ', 'ま', 'み', 'む', 'め', 'も', 'や', 'ゆ', 'よ', 'ら',
-                'り', 'る', 'れ', 'ろ', 'わ', 'ん',
+                'あ', 'い', 'う', 'え', 'お', 'か', 'き', 'く', 'け', 'こ', 'さ', 'し', 'す', 'せ',
+                'そ', 'た', 'ち', 'つ', 'て', 'と', 'な', 'に', 'ぬ', 'ね', 'の', 'は', 'ひ', 'ふ',
+                'へ', 'ほ', 'ま', 'み', 'む', 'め', 'も', 'や', 'ゆ', 'よ', 'ら', 'り', 'る', 'れ',
+                'ろ', 'わ', 'ん',
             ];
             (0..rng.gen_range(2..5)).map(|_| KANA[rng.gen_range(0..KANA.len())]).collect()
         }
@@ -244,9 +251,9 @@ pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
         }
         Language::Thai => {
             const THAI: &[char] = &[
-                'ก', 'ข', 'ค', 'ง', 'จ', 'ฉ', 'ช', 'ซ', 'ญ', 'ด', 'ต', 'ถ', 'ท', 'ธ', 'น',
-                'บ', 'ป', 'ผ', 'ฝ', 'พ', 'ฟ', 'ภ', 'ม', 'ย', 'ร', 'ล', 'ว', 'ศ', 'ส', 'ห',
-                'อ', 'ฮ', 'า', 'ิ', 'ี', 'ุ', 'ู', 'เ', 'แ', 'โ', 'ไ',
+                'ก', 'ข', 'ค', 'ง', 'จ', 'ฉ', 'ช', 'ซ', 'ญ', 'ด', 'ต', 'ถ', 'ท', 'ธ', 'น', 'บ',
+                'ป', 'ผ', 'ฝ', 'พ', 'ฟ', 'ภ', 'ม', 'ย', 'ร', 'ล', 'ว', 'ศ', 'ส', 'ห', 'อ', 'ฮ',
+                'า', 'ิ', 'ี', 'ุ', 'ู', 'เ', 'แ', 'โ', 'ไ',
             ];
             (0..rng.gen_range(2..6)).map(|_| THAI[rng.gen_range(0..THAI.len())]).collect()
         }
@@ -258,11 +265,7 @@ pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
                 // detector has something to key on, as real orthography does.
                 let pos = rng.gen_range(0..w.chars().count());
                 let sig = sigs[rng.gen_range(0..sigs.len())];
-                w = w
-                    .chars()
-                    .enumerate()
-                    .map(|(i, c)| if i == pos { sig } else { c })
-                    .collect();
+                w = w.chars().enumerate().map(|(i, c)| if i == pos { sig } else { c }).collect();
             }
             w
         }
@@ -278,9 +281,9 @@ pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
 /// unfairly crippling the character-based models.
 fn latin_word<R: Rng + ?Sized>(rng: &mut R) -> String {
     const ONSETS: &[&str] = &[
-        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w",
-        "z", "br", "ch", "cl", "cr", "dr", "fl", "gr", "kl", "pl", "pr", "qu", "sh", "sk",
-        "sl", "sp", "st", "th", "tr",
+        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+        "br", "ch", "cl", "cr", "dr", "fl", "gr", "kl", "pl", "pr", "qu", "sh", "sk", "sl", "sp",
+        "st", "th", "tr",
     ];
     const NUCLEI: &[&str] =
         &["a", "e", "i", "o", "u", "ai", "au", "ea", "ei", "ia", "ie", "oa", "ou"];

@@ -116,10 +116,8 @@ pub fn language_distribution(corpus: &Corpus) -> Vec<LanguageRow> {
     let total = corpus.len();
     for u in corpus.user_ids() {
         let own: Vec<crate::tweet::TweetId> = corpus.outgoing_of(u);
-        let cleaned: Vec<String> = own
-            .iter()
-            .map(|&id| clean::clean_with(&tokenizer, &corpus.tweet(id).text))
-            .collect();
+        let cleaned: Vec<String> =
+            own.iter().map(|&id| clean::clean_with(&tokenizer, &corpus.tweet(id).text)).collect();
         let pooled = cleaned.join(" ");
         let detected = lang::detect_language(&pooled);
         *counts.entry(detected).or_insert(0) += own.len();

@@ -141,7 +141,9 @@ pub fn partition_users(corpus: &Corpus) -> Partition {
         .evaluated_user_ids()
         .map(|u| PostingRatio { user: u, ratio: corpus.posting_ratio(u) })
         .collect();
-    ratios.sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("ratios are finite").then(a.user.cmp(&b.user)));
+    ratios.sort_by(|a, b| {
+        a.ratio.partial_cmp(&b.ratio).expect("ratios are finite").then(a.user.cmp(&b.user))
+    });
     let is: Vec<UserId> = ratios.iter().take(20).map(|r| r.user).collect();
     let mut remaining: Vec<PostingRatio> = ratios.iter().skip(20).copied().collect();
     remaining.sort_by(|a, b| {
@@ -226,13 +228,12 @@ mod tests {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
         let p = partition_users(&corpus);
         let max_is = p.is.iter().map(|&u| p.ratio_of(u)).fold(0.0f64, f64::max);
-        let min_other = p
-            .bu
-            .iter()
-            .chain(&p.ip)
-            .chain(&p.rest)
-            .map(|&u| p.ratio_of(u))
-            .fold(f64::INFINITY, f64::min);
+        let min_other =
+            p.bu.iter()
+                .chain(&p.ip)
+                .chain(&p.rest)
+                .map(|&u| p.ratio_of(u))
+                .fold(f64::INFINITY, f64::min);
         assert!(max_is <= min_other);
     }
 }

@@ -150,10 +150,8 @@ pub fn detect_language(text: &str) -> Language {
 
 fn latin_language(text: &str) -> Language {
     let lowered = text.to_lowercase();
-    let mut scores: Vec<(Language, f64)> = FUNCTION_WORDS
-        .iter()
-        .map(|&(lang, _)| (lang, 0.0))
-        .collect();
+    let mut scores: Vec<(Language, f64)> =
+        FUNCTION_WORDS.iter().map(|&(lang, _)| (lang, 0.0)).collect();
     // Signature diacritics.
     for c in lowered.chars() {
         for &(lang, chars) in SIGNATURE_CHARS {
@@ -254,8 +252,14 @@ mod tests {
         assert_eq!(detect_language("não sei o que você quer dizer com isso"), Language::Portuguese);
         assert_eq!(detect_language("le chat est dans la maison près des arbres"), Language::French);
         assert_eq!(detect_language("der hund und die katze sind nicht hier"), Language::German);
-        assert_eq!(detect_language("aku tidak tahu yang kamu maksud dengan itu"), Language::Indonesian);
-        assert_eq!(detect_language("el perro ladra por la noche ¿por qué será?"), Language::Spanish);
+        assert_eq!(
+            detect_language("aku tidak tahu yang kamu maksud dengan itu"),
+            Language::Indonesian
+        );
+        assert_eq!(
+            detect_language("el perro ladra por la noche ¿por qué será?"),
+            Language::Spanish
+        );
     }
 
     #[test]

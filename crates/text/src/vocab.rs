@@ -99,10 +99,7 @@ impl Vocabulary {
 
     /// Iterate over `(id, term, count)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, u64)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(move |(i, t)| (i as TermId, t.as_str(), self.counts[i]))
+        self.terms.iter().enumerate().map(move |(i, t)| (i as TermId, t.as_str(), self.counts[i]))
     }
 }
 

@@ -76,11 +76,7 @@ impl AtmModel {
     /// Train on a corpus with one author id per document (dense ids; the
     /// author table is sized by the maximum id + 1).
     pub fn train(cfg: &AtmConfig, corpus: &TopicCorpus, authors: &[u32]) -> Self {
-        assert_eq!(
-            corpus.len(),
-            authors.len(),
-            "one author per document required"
-        );
+        assert_eq!(corpus.len(), authors.len(), "one author per document required");
         assert!(cfg.topics >= 1);
         let k = cfg.topics;
         let v = corpus.vocab_size().max(1);

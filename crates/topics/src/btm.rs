@@ -41,14 +41,7 @@ pub struct BtmConfig {
 impl BtmConfig {
     /// The paper's tuning: α = 50/|Z|, β = 0.01, r = 30, 1000 iterations.
     pub fn paper(topics: usize, iterations: usize, seed: u64) -> Self {
-        BtmConfig {
-            topics,
-            alpha: 50.0 / topics as f64,
-            beta: 0.01,
-            iterations,
-            window: 30,
-            seed,
-        }
+        BtmConfig { topics, alpha: 50.0 / topics as f64, beta: 0.01, iterations, window: 30, seed }
     }
 }
 
@@ -85,11 +78,8 @@ impl BtmModel {
         let k = cfg.topics;
         let v = corpus.vocab_size().max(1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let all: Vec<(TermId, TermId)> = corpus
-            .docs
-            .iter()
-            .flat_map(|d| biterms(d, cfg.window))
-            .collect();
+        let all: Vec<(TermId, TermId)> =
+            corpus.docs.iter().flat_map(|d| biterms(d, cfg.window)).collect();
         let mut n_z = vec![0u32; k];
         let mut n_zw = vec![vec![0u32; v]; k];
         let mut z: Vec<usize> = all

@@ -63,8 +63,7 @@ pub fn mean_coherence(corpus: &TopicCorpus, phi: &[Vec<f32>], top_k: usize) -> f
     if phi.is_empty() {
         return 0.0;
     }
-    let total: f64 =
-        phi.iter().map(|row| umass_coherence(corpus, &top_words(row, top_k))).sum();
+    let total: f64 = phi.iter().map(|row| umass_coherence(corpus, &top_words(row, top_k))).sum();
     total / phi.len() as f64
 }
 

@@ -68,11 +68,7 @@ mod tests {
 
     #[test]
     fn builds_and_interns() {
-        let c = TopicCorpus::from_token_docs(vec![
-            vec!["a", "b", "a"],
-            vec!["b", "c"],
-            vec![],
-        ]);
+        let c = TopicCorpus::from_token_docs(vec![vec!["a", "b", "a"], vec!["b", "c"], vec![]]);
         assert_eq!(c.len(), 3);
         assert_eq!(c.vocab_size(), 3);
         assert_eq!(c.total_tokens(), 5);

@@ -156,8 +156,7 @@ impl DmmModel {
             .map(|t| {
                 let mut s = (self.weights[t].max(f32::MIN_POSITIVE) as f64).ln();
                 for &w in doc {
-                    s += (self.phi[t].get(w as usize).copied().unwrap_or(f32::MIN_POSITIVE)
-                        as f64)
+                    s += (self.phi[t].get(w as usize).copied().unwrap_or(f32::MIN_POSITIVE) as f64)
                         .max(f64::MIN_POSITIVE)
                         .ln();
                 }

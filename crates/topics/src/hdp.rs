@@ -206,8 +206,7 @@ impl HdpModel {
                 n_kw = keep.iter().map(|&t| std::mem::take(&mut n_kw[t])).collect();
                 n_k = keep.iter().map(|&t| n_k[t]).collect();
                 let unseen = beta[k];
-                let dropped: f64 =
-                    (0..k).filter(|t| !remap.contains_key(t)).map(|t| beta[t]).sum();
+                let dropped: f64 = (0..k).filter(|t| !remap.contains_key(t)).map(|t| beta[t]).sum();
                 beta = keep.iter().map(|&t| beta[t]).collect();
                 beta.push(unseen + dropped);
                 for row in n_dk.iter_mut() {
@@ -297,10 +296,8 @@ mod tests {
         let pets = model.infer(&corpus.encode(&["cat", "dog", "pet"]), &mut rng);
         let code = model.infer(&corpus.encode(&["rust", "code", "bug"]), &mut rng);
         let storm = model.infer(&corpus.encode(&["rain", "storm", "wind"]), &mut rng);
-        let tops: std::collections::HashSet<usize> = [&pets, &code, &storm]
-            .iter()
-            .map(|th| crate::model::argmax(th))
-            .collect();
+        let tops: std::collections::HashSet<usize> =
+            [&pets, &code, &storm].iter().map(|th| crate::model::argmax(th)).collect();
         assert_eq!(tops.len(), 3, "each cluster should get its own topic");
     }
 

@@ -74,7 +74,15 @@ struct Node {
 
 impl Node {
     fn new(parent: usize, level: usize) -> Self {
-        Node { parent, children: Vec::new(), level, counts: HashMap::new(), total: 0, docs: 0, alive: true }
+        Node {
+            parent,
+            children: Vec::new(),
+            level,
+            counts: HashMap::new(),
+            total: 0,
+            docs: 0,
+            alive: true,
+        }
     }
 }
 
@@ -184,7 +192,13 @@ impl<'a> Sampler<'a> {
 
     /// Enumerate candidate paths from `node` down to depth `levels`.
     /// `usize::MAX` marks "new node here and below".
-    fn candidate_paths(&self, node: usize, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>, log_prior: f64) {
+    fn candidate_paths(
+        &self,
+        node: usize,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<(Vec<usize>, f64)>,
+        log_prior: f64,
+    ) {
         if prefix.len() == self.cfg.levels {
             out.push((prefix.clone(), log_prior));
             return;
@@ -223,12 +237,11 @@ impl<'a> Sampler<'a> {
         }
         let v = self.corpus.vocab_size() as f64;
         let eta = self.cfg.eta;
-        let (node_total, node_count): (u32, Option<&HashMap<TermId, u32>>) =
-            if node == usize::MAX {
-                (0, None)
-            } else {
-                (self.nodes[node].total, Some(&self.nodes[node].counts))
-            };
+        let (node_total, node_count): (u32, Option<&HashMap<TermId, u32>>) = if node == usize::MAX {
+            (0, None)
+        } else {
+            (self.nodes[node].total, Some(&self.nodes[node].counts))
+        };
         let mut ll = ln_gamma(node_total as f64 + v * eta)
             - ln_gamma(node_total as f64 + n_dl as f64 + v * eta);
         for (&w, &c) in &local {

@@ -160,8 +160,9 @@ mod tests {
 
     #[test]
     fn frequent_hashtags_become_labels() {
-        let texts: Vec<String> =
-            (0..40).map(|i| format!("tweet {i} #hot {}", if i < 5 { "#cold" } else { "" })).collect();
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("tweet {i} #hot {}", if i < 5 { "#cold" } else { "" }))
+            .collect();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
         let (labeler, docs) = fit_on(&refs, 30);
         assert_eq!(labeler.num_hashtag_labels(), 1);

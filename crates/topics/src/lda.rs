@@ -156,8 +156,7 @@ pub(crate) fn estimate_phi(n_kw: &[Vec<u32>], n_k: &[u32], beta: f64) -> Vec<Vec
 pub(crate) fn estimate_theta(n_dk: &[u32], doc_len: usize, alpha: f64) -> Vec<f32> {
     let k = n_dk.len();
     let denom = doc_len as f64 + k as f64 * alpha;
-    let mut theta: Vec<f32> =
-        n_dk.iter().map(|&c| ((c as f64 + alpha) / denom) as f32).collect();
+    let mut theta: Vec<f32> = n_dk.iter().map(|&c| ((c as f64 + alpha) / denom) as f32).collect();
     normalize(&mut theta);
     theta
 }
@@ -200,11 +199,8 @@ pub(crate) fn fold_in(
     }
     let alpha_sum: f64 = alpha_per_topic.iter().sum();
     let denom = doc.len() as f64 + alpha_sum;
-    let mut theta: Vec<f32> = n_dk
-        .iter()
-        .zip(alpha_per_topic)
-        .map(|(&c, &a)| ((c as f64 + a) / denom) as f32)
-        .collect();
+    let mut theta: Vec<f32> =
+        n_dk.iter().zip(alpha_per_topic).map(|(&c, &a)| ((c as f64 + a) / denom) as f32).collect();
     normalize(&mut theta);
     theta
 }
@@ -303,5 +299,4 @@ mod tests {
         let b = LdaModel::train(&LdaConfig::paper(2, 30, 5), &corpus);
         assert_eq!(a.phi(), b.phi());
     }
-
 }

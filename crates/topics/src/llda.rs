@@ -197,7 +197,7 @@ mod tests {
         let model = LldaModel::train(&cfg, &corpus);
         assert_eq!(model.num_labels(), 2);
         assert_eq!(model.num_topics(), 3); // 2 labels + 1 latent
-        // θ of a label-0 training doc must prefer topic 0.
+                                           // θ of a label-0 training doc must prefer topic 0.
         let t = model.theta_train(0);
         assert!(t[0] > t[1], "label-0 doc: {t:?}");
         let t = model.theta_train(1);

@@ -173,10 +173,7 @@ mod proptests {
     use rand::SeedableRng;
 
     fn arb_corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
-        proptest::collection::vec(
-            proptest::collection::vec("[a-f]{1,3}", 0..10),
-            1..12,
-        )
+        proptest::collection::vec(proptest::collection::vec("[a-f]{1,3}", 0..10), 1..12)
     }
 
     proptest! {

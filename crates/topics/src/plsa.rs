@@ -215,10 +215,7 @@ mod tests {
         let big = TopicCorpus::from_token_docs(docs);
         let m_big = PlsaModel::train(&cfg, &big);
         assert!(m_big.parameter_count() > m_small.parameter_count() / 2);
-        assert_eq!(
-            m_small.parameter_count(),
-            30 * 2 + 2 * small.vocab_size()
-        );
+        assert_eq!(m_small.parameter_count(), 30 * 2 + 2 * small.vocab_size());
     }
 
     #[test]

@@ -69,11 +69,9 @@ pub fn pool_indexed(
     tweets: &[PoolInput<'_>],
 ) -> Vec<(Vec<String>, Vec<usize>)> {
     match scheme {
-        PoolingScheme::NP => tweets
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.tokens.to_vec(), vec![i]))
-            .collect(),
+        PoolingScheme::NP => {
+            tweets.iter().enumerate().map(|(i, t)| (t.tokens.to_vec(), vec![i])).collect()
+        }
         PoolingScheme::UP => {
             let mut pools: std::collections::BTreeMap<u32, (Vec<String>, Vec<usize>)> =
                 std::collections::BTreeMap::new();
@@ -169,8 +167,7 @@ mod tests {
         ];
         for scheme in PoolingScheme::ALL {
             let pooled = pool_indexed(scheme, &tweets);
-            let mut seen: Vec<usize> =
-                pooled.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+            let mut seen: Vec<usize> = pooled.iter().flat_map(|(_, m)| m.iter().copied()).collect();
             seen.sort();
             assert_eq!(seen, vec![0, 1, 2], "{}", scheme.name());
         }

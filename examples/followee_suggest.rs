@@ -29,8 +29,7 @@ fn main() {
     let grams = |id: TweetId| token_ngrams(prepared.content(id), 1);
     let train_grams: Vec<Vec<String>> = train.iter().map(|&id| grams(id)).collect();
     let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, train_grams.iter());
-    let vectors: Vec<SparseVector> =
-        train_grams.iter().map(|g| vectorizer.transform(g)).collect();
+    let vectors: Vec<SparseVector> = train_grams.iter().map(|g| vectorizer.transform(g)).collect();
     let user_model = AggregationFunction::Centroid.aggregate(&vectors, &[]);
 
     // Candidates: everyone she does not follow, modeled by their originals.
@@ -53,9 +52,8 @@ fn main() {
 
     // Validate against the simulator's hidden interest profiles.
     let me = prepared.corpus.user(user);
-    let alignment = |v: UserId| {
-        interest_cosine(&me.interests, &prepared.corpus.user(v).interests) as f64
-    };
+    let alignment =
+        |v: UserId| interest_cosine(&me.interests, &prepared.corpus.user(v).interests) as f64;
     println!("followee suggestions for {:?} (interest alignment is hidden ground truth):\n", user);
     for (score, v) in ranked.iter().take(8) {
         println!(
@@ -64,10 +62,9 @@ fn main() {
             alignment(*v)
         );
     }
-    let top_align: f64 =
-        ranked.iter().take(8).map(|&(_, v)| alignment(v)).sum::<f64>() / 8.0;
-    let all_align: f64 = ranked.iter().map(|&(_, v)| alignment(v)).sum::<f64>()
-        / ranked.len().max(1) as f64;
+    let top_align: f64 = ranked.iter().take(8).map(|&(_, v)| alignment(v)).sum::<f64>() / 8.0;
+    let all_align: f64 =
+        ranked.iter().map(|&(_, v)| alignment(v)).sum::<f64>() / ranked.len().max(1) as f64;
     println!(
         "\nmean true alignment: top-8 suggestions {top_align:+.3} vs all candidates {all_align:+.3}"
     );

@@ -56,8 +56,7 @@ fn main() {
     let grams = |id: TweetId| token_ngrams(prepared.content(id), 1);
     let train_grams: Vec<Vec<String>> = train.iter().map(|&id| grams(id)).collect();
     let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, train_grams.iter());
-    let vectors: Vec<SparseVector> =
-        train_grams.iter().map(|g| vectorizer.transform(g)).collect();
+    let vectors: Vec<SparseVector> = train_grams.iter().map(|g| vectorizer.transform(g)).collect();
     let user_model = AggregationFunction::Centroid.aggregate(&vectors, &[]);
 
     // One document model per hashtag: centroid of its supporting tweets.
@@ -73,11 +72,8 @@ fn main() {
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
 
     // Ground truth: hashtags of the user's test-phase positives.
-    let truth: HashSet<String> = split
-        .positives
-        .iter()
-        .flat_map(|&id| prepared.hashtags(id).iter().cloned())
-        .collect();
+    let truth: HashSet<String> =
+        split.positives.iter().flat_map(|&id| prepared.hashtags(id).iter().cloned()).collect();
     println!("hashtags in her future retweets: {truth:?}\n");
     println!("top suggested hashtags:");
     for (i, (score, tag)) in ranked.iter().take(10).enumerate() {

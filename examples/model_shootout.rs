@@ -121,11 +121,7 @@ fn main() {
         );
         rows.push((name.to_owned(), result.map));
     }
-    println!(
-        "{:<18} {:>7.3}",
-        "RAN baseline",
-        runner.random_map(UserGroup::All, &opts)
-    );
+    println!("{:<18} {:>7.3}", "RAN baseline", runner.random_map(UserGroup::All, &opts));
     println!("{:<18} {:>7.3}", "CHR baseline", runner.chronological_map(UserGroup::All));
 
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));

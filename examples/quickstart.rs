@@ -13,9 +13,7 @@
 
 use pmr::core::config::AggKind;
 use pmr::core::experiment::{ExperimentRunner, RunnerOptions};
-use pmr::core::{
-    ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig,
-};
+use pmr::core::{ModelConfiguration, PreparedCorpus, RepresentationSource, SplitConfig};
 use pmr::graph::GraphSimilarity;
 use pmr::sim::usertype::UserGroup;
 use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
@@ -38,11 +36,8 @@ fn main() {
     println!("users with a test set: {}", prepared.split.len());
 
     // 3. Token n-gram graphs built from the user's retweets (source R).
-    let config = ModelConfiguration::Graph {
-        char_grams: false,
-        n: 1,
-        similarity: GraphSimilarity::Value,
-    };
+    let config =
+        ModelConfiguration::Graph { char_grams: false, n: 1, similarity: GraphSimilarity::Value };
     let runner = ExperimentRunner::new(&prepared);
     let opts = RunnerOptions::default();
     let result = runner.run(&config, RepresentationSource::R, UserGroup::All, &opts);

@@ -57,10 +57,8 @@ fn main() {
     print_topics(lda.phi(), &topic_corpus);
 
     println!("\n=== BTM (K = {k}) top words ===");
-    let btm = BtmModel::train(
-        &BtmConfig { window: 30, ..BtmConfig::paper(k, 60, 5) },
-        &topic_corpus,
-    );
+    let btm =
+        BtmModel::train(&BtmConfig { window: 30, ..BtmConfig::paper(k, 60, 5) }, &topic_corpus);
     print_topics(btm.phi(), &topic_corpus);
 
     println!("\n=== simulator ground truth (first 6 topics, English vocabulary) ===");

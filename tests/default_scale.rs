@@ -40,20 +40,11 @@ fn default_scale_partition_mirrors_the_paper() {
     // The paper found exactly 9 users above posting ratio 2 (after manual
     // intervention at the BU/IP boundary, §4); our measured partition lands
     // within one boundary user of that.
-    assert!(
-        (8..=10).contains(&partition.ip.len()),
-        "IP group size off: {}",
-        partition.ip.len()
-    );
+    assert!((8..=10).contains(&partition.ip.len()), "IP group size off: {}", partition.ip.len());
     assert_eq!(partition.ip.len() + partition.rest.len(), 20);
     // Threshold structure of §4: a clear gap between IS and BU.
-    let max_is =
-        partition.is.iter().map(|&u| partition.ratio_of(u)).fold(0.0f64, f64::max);
-    let min_bu = partition
-        .bu
-        .iter()
-        .map(|&u| partition.ratio_of(u))
-        .fold(f64::INFINITY, f64::min);
+    let max_is = partition.is.iter().map(|&u| partition.ratio_of(u)).fold(0.0f64, f64::max);
+    let min_bu = partition.bu.iter().map(|&u| partition.ratio_of(u)).fold(f64::INFINITY, f64::min);
     assert!(max_is < 0.5, "IS ratios stay low: {max_is:.3}");
     assert!(min_bu > max_is, "IS and BU separate: {min_bu:.3} vs {max_is:.3}");
 }

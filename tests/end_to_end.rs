@@ -90,12 +90,7 @@ fn every_model_family_produces_valid_scores() {
     ];
     for config in configs {
         let r = runner.run(&config, RepresentationSource::TR, UserGroup::All, &opts);
-        assert!(
-            (0.0..=1.0).contains(&r.map),
-            "{}: MAP out of range: {}",
-            config.describe(),
-            r.map
-        );
+        assert!((0.0..=1.0).contains(&r.map), "{}: MAP out of range: {}", config.describe(), r.map);
         assert!(!r.per_user_ap.is_empty(), "{}: no users scored", config.describe());
         for &(_, ap) in &r.per_user_ap {
             assert!((0.0..=1.0).contains(&ap));
@@ -158,11 +153,8 @@ fn pipeline_is_deterministic_end_to_end() {
 fn timing_measures_are_populated() {
     let p = prepared(4);
     let runner = ExperimentRunner::new(&p);
-    let config = ModelConfiguration::Graph {
-        char_grams: false,
-        n: 3,
-        similarity: GraphSimilarity::Value,
-    };
+    let config =
+        ModelConfiguration::Graph { char_grams: false, n: 3, similarity: GraphSimilarity::Value };
     let r = runner.run(&config, RepresentationSource::R, UserGroup::All, &quick_opts());
     assert!(r.train_time > std::time::Duration::ZERO);
     assert!(r.test_time > std::time::Duration::ZERO);

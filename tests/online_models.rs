@@ -3,7 +3,9 @@
 //! scenario behind the paper's motivation.
 
 use pmr::bag::{BagSimilarity, BagVectorizer, WeightingScheme};
-use pmr::core::{OnlineBagModel, OnlineGraphModel, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr::core::{
+    OnlineBagModel, OnlineGraphModel, PreparedCorpus, RepresentationSource, SplitConfig,
+};
 use pmr::graph::GraphSimilarity;
 use pmr::sim::{generate_corpus, ScalePreset, SimConfig, TweetId};
 use pmr::text::token_ngrams;
@@ -78,9 +80,7 @@ fn online_graph_model_learns_from_the_stream() {
         if ids.is_empty() {
             return 0.0;
         }
-        ids.iter()
-            .map(|&id| model.score(&token_ngrams(prepared.content(id), 1)))
-            .sum::<f64>()
+        ids.iter().map(|&id| model.score(&token_ngrams(prepared.content(id), 1))).sum::<f64>()
             / ids.len() as f64
     };
     let pos = mean(&split.positives);

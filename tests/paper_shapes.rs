@@ -74,11 +74,8 @@ fn token_models_beat_character_models() {
     let o = opts();
     let source = RepresentationSource::R;
     let map = |c: &ModelConfiguration| runner.run(c, source, UserGroup::All, &o).map;
-    let tng1 = ModelConfiguration::Graph {
-        char_grams: false,
-        n: 1,
-        similarity: GraphSimilarity::Value,
-    };
+    let tng1 =
+        ModelConfiguration::Graph { char_grams: false, n: 1, similarity: GraphSimilarity::Value };
     let tng_map = map(&tng1);
     let tn_map = map(&tn());
     let cn_map = map(&cn());
@@ -135,10 +132,7 @@ fn retweets_are_the_best_individual_source() {
         RepresentationSource::F,
         RepresentationSource::C,
     ] {
-        assert!(
-            r >= map(other) - 1e-9,
-            "R must be the best individual source (vs {other})"
-        );
+        assert!(r >= map(other) - 1e-9, "R must be the best individual source (vs {other})");
     }
     // The paper's C > E > F ordering is a small-gap effect (≈0.03 mean MAP
     // across its full sweep); at smoke scale with a single configuration we

@@ -12,12 +12,7 @@ use pmr::topics::{BtmConfig, BtmModel, LdaConfig, LdaModel, TopicCorpus, TopicMo
 
 fn docs() -> Vec<Vec<String>> {
     let d = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
-    vec![
-        d("cat dog pet cat"),
-        d("rust code bug rust"),
-        d("cat pet vet"),
-        d("code test bug"),
-    ]
+    vec![d("cat dog pet cat"), d("rust code bug rust"), d("cat pet vet"), d("code test bug")]
 }
 
 #[test]
@@ -65,8 +60,7 @@ fn online_models_roundtrip_mid_stream() {
     let bag_json = serde_json::to_string(&bag).expect("serializes");
     let graph_json = serde_json::to_string(&graph).expect("serializes");
     let mut bag_restored: OnlineBagModel = serde_json::from_str(&bag_json).expect("ok");
-    let mut graph_restored: OnlineGraphModel =
-        serde_json::from_str(&graph_json).expect("ok");
+    let mut graph_restored: OnlineGraphModel = serde_json::from_str(&graph_json).expect("ok");
     for d in docs().iter().skip(2) {
         bag.observe(d);
         bag_restored.observe(d);

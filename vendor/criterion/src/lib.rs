@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::default().measurement_time(..)`,
+//! benchmark groups) but measures with a simple calibrated wall-clock
+//! loop: run the closure until the measurement window elapses, report
+//! mean time per iteration to stdout. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Benchmark driver. Collects settings; each `bench_function` runs and
+/// prints immediately.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how long each benchmark measures for.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set how long each benchmark warms up for.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target sample count (only bounds iteration batching here).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Run a benchmark that takes an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.warm_up_time, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named benchmark id, `"name/param"`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.criterion.warm_up_time, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Run a benchmark with an input inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.warm_up_time, self.criterion.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; `iter` records the routine to measure.
+pub struct Bencher {
+    routine_time: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it repeatedly for the configured window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.routine_time && iters >= 1 {
+                self.iterations = iters;
+                self.routine_time = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, measure: Duration, mut f: F) {
+    let mut warm = Bencher { routine_time: warm_up, iterations: 0 };
+    f(&mut warm);
+    let mut bench = Bencher { routine_time: measure, iterations: 0 };
+    f(&mut bench);
+    let per_iter = bench.routine_time.as_nanos() / bench.iterations.max(1) as u128;
+    println!("{id:<40} {:>12} ns/iter ({} iterations)", per_iter, bench.iterations);
+}
+
+/// Declare a benchmark group; supports both the simple form and the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(42)));
+    }
+}

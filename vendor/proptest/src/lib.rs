@@ -1,0 +1,199 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property as a fixed number of deterministic random cases (no
+//! shrinking). Supports the strategy surface this workspace uses: numeric
+//! ranges, a regex subset for strings (`[a-z]{1,8}`-style classes and
+//! `\PC`), `collection::vec`, tuples, `bool::ANY`, and `prop_map`. The
+//! `proptest!` macro accepts the usual `fn name(x in strategy, ...)` items;
+//! `prop_assert!`/`prop_assert_eq!` report failures with the case number,
+//! and `prop_assume!` skips the case.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Regex-subset string strategies.
+pub mod string;
+
+/// `bool::ANY`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `collection::vec`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+pub use strategy::Strategy;
+
+/// Run each `fn name(binding in strategy, ...) { body }` item as a test of
+/// [`test_runner::cases`] deterministic random cases. An optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` overrides the count.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let cases: u32 = $cases;
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = result {
+                    panic!("property {} failed on case {case}: {msg}", stringify!($name));
+                }
+            }
+        }
+    )*};
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @impl ($cfg).cases; $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @impl $crate::test_runner::cases(); $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+        crate::collection::vec((0u32..10, 0.0f64..1.0), 0..8)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn regex_classes_generate_in_alphabet(s in "[a-d]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s}");
+        }
+
+        #[test]
+        fn mapped_and_tuple_strategies_compose(v in pairs(), b in crate::bool::ANY) {
+            prop_assume!(v.len() < 100);
+            for (n, f) in &v {
+                prop_assert!(*n < 10);
+                prop_assert!((0.0..1.0).contains(f));
+            }
+            prop_assert_eq!(b || !b, true);
+        }
+
+        #[test]
+        fn printable_strings_have_no_controls(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

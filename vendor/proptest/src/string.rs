@@ -1,0 +1,143 @@
+//! String strategies from a regex subset.
+//!
+//! A `&str` literal is itself a strategy. Supported syntax: literal
+//! characters, `[a-z0-9_]`-style classes with ranges, `\PC` (any printable
+//! character), and `{m}` / `{m,n}` quantifiers on the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Palette for `\PC`: printable ASCII plus a few multibyte characters so
+/// generated text exercises non-ASCII handling.
+const PRINTABLE: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1', '2',
+    '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C', 'D', 'E',
+    'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X',
+    'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k',
+    'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '{', '|', '}', '~',
+    'é', 'ß', 'λ', 'ж', '中', '文', '№', '…',
+];
+
+enum Atom {
+    Class(Vec<char>),
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            '[' => {
+                i += 1;
+                let mut class = Vec::new();
+                while chars[i] != ']' {
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) != Some(&']') {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        class.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1;
+                Atom::Class(class)
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?.^$".contains(c),
+                    "unsupported metacharacter {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                None => {
+                    let n = body.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let count = rng.usize_in(piece.min, piece.max + 1);
+            let palette: &[char] = match &piece.atom {
+                Atom::Class(chars) => chars,
+                Atom::Printable => PRINTABLE,
+            };
+            for _ in 0..count {
+                out.push(palette[rng.usize_in(0, palette.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut rng = TestRng::deterministic("string");
+        for _ in 0..200 {
+            let s = "[a-c]x{2}[_0-9]".generate(&mut rng);
+            let chars: Vec<char> = s.chars().collect();
+            assert_eq!(chars.len(), 4, "{s:?}");
+            assert!(('a'..='c').contains(&chars[0]));
+            assert_eq!(&chars[1..3], &['x', 'x']);
+            assert!(chars[3] == '_' || chars[3].is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn printable_lengths_cover_range() {
+        let mut rng = TestRng::deterministic("printable");
+        let mut saw_empty = false;
+        let mut saw_long = false;
+        for _ in 0..300 {
+            let s = "\\PC{0,10}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!(n <= 10);
+            saw_empty |= n == 0;
+            saw_long |= n >= 8;
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+        assert!(saw_empty && saw_long);
+    }
+}

@@ -1,0 +1,104 @@
+//! The deterministic RNG driving property tests.
+
+/// How many cases each property runs. Small enough to keep `cargo test`
+/// fast, large enough to exercise the strategies.
+pub fn cases() -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(32),
+        Err(_) => 32,
+    }
+}
+
+/// Per-block configuration, set via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A splitmix64 generator, seeded from the property name so every test is
+/// reproducible run-to-run without global state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (the property name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero and fit the
+    /// spans produced by the integer range strategies.
+    pub fn bounded(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0);
+        if bound <= u64::MAX as u128 {
+            // 128-bit multiply-shift: maps a u64 uniformly onto [0, bound).
+            (self.next_u64() as u128 * bound) >> 64
+        } else {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.bounded((hi - lo) as u128) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("prop");
+        let mut b = TestRng::deterministic("prop");
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_stays_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            assert!(rng.bounded(7) < 7);
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Uniform range sampling.
+
+/// Uniform range support (`rng.gen_range(low..high)`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draw one sample.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Integers that can be sampled via 128-bit widening multiply.
+    pub trait SampleUniformInt: Copy {
+        /// Offset from `low` as an unsigned span.
+        fn span(low: Self, high: Self) -> u64;
+        /// `low + offset`.
+        fn offset(low: Self, offset: u64) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniformInt for $t {
+                fn span(low: Self, high: Self) -> u64 {
+                    (high as i128 - low as i128) as u64
+                }
+                fn offset(low: Self, offset: u64) -> Self {
+                    (low as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Multiply-shift bounded draw (bias is negligible for spans ≪ 2^64).
+    fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    impl<T: SampleUniformInt> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let span = T::span(self.start, self.end);
+            assert!(span > 0, "cannot sample from empty range");
+            T::offset(self.start, bounded(rng, span))
+        }
+    }
+
+    impl<T: SampleUniformInt> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            let span = T::span(low, high)
+                .checked_add(1)
+                .expect("inclusive range spans the full integer domain");
+            T::offset(low, bounded(rng, span))
+        }
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample from empty range");
+            let u = crate::unit_f64(rng.next_u64());
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample from empty range");
+            low + (high - low) * crate::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl SampleRange<f32> for RangeInclusive<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample from empty range");
+            low + (high - low) * crate::unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample from empty range");
+            let u = crate::unit_f64(rng.next_u64()) as f32;
+            self.start + (self.end - self.start) * u
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in this build environment, so
+//! this crate provides a compatible-enough replacement: `Serialize` and
+//! `Deserialize` traits built around an owned JSON-like [`value::Value`]
+//! tree, plus `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the sibling `serde_derive` crate). The data model mirrors serde's JSON
+//! conventions — structs become objects, newtype structs are transparent,
+//! enums are externally tagged — so JSON produced by this crate looks like
+//! what the real serde + serde_json pair would emit for the same types.
+//!
+//! Only the features this workspace actually uses are implemented: plain
+//! derives without `#[serde(...)]` attributes, and the std impls listed in
+//! this file. Unknown object fields are ignored on deserialization; missing
+//! fields are an error (this strictness is what lets the sweep cache reject
+//! files written by older layouts).
+
+pub mod value;
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the data-model tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A value that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the data-model tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(Number::PosInt(n)) => Ok(*n),
+                    Value::Number(Number::NegInt(n)) => {
+                        u64::try_from(*n).map_err(|_| Error::msg("negative integer"))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected unsigned integer, got {other}"
+                    ))),
+                }?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(Number::NegInt(n)) => Ok(*n),
+                    Value::Number(Number::PosInt(n)) => {
+                        i64::try_from(*n).map_err(|_| Error::msg("integer out of range"))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected signed integer, got {other}"
+                    ))),
+                }?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Number(Number::Float(f))
+                } else {
+                    // JSON has no NaN/Infinity; mirror serde_json's `null`.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::Float(f)) => Ok(*f as $t),
+                    Value::Number(Number::PosInt(n)) => Ok(*n as $t),
+                    Value::Number(Number::NegInt(n)) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::msg(format!("expected number, got {other}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!("expected single-char string, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($n)),+].len();
+                let items = value::expect_tuple(v, LEN, "tuple")?;
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Convert a serialized key to its JSON object-key string.
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        Value::Number(Number::PosInt(n)) => Ok(n.to_string()),
+        Value::Number(Number::NegInt(n)) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!("map key must be string-like, got {other}"))),
+    }
+}
+
+/// Rebuild a map key from its JSON object-key string: try the string form
+/// first, then the integer forms (covers `String`, integer, and integer
+/// newtype keys such as `UserId`).
+fn key_from_str<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::String(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::Number(Number::PosInt(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::Number(Number::NegInt(n))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::msg(format!("cannot rebuild map key from {s:?}")))
+}
+
+fn serialize_map<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(String, Value)> = entries
+        .map(|(k, v)| {
+            let key = key_to_string(&k.serialize()).expect("map key must be string-like");
+            (key, v.serialize())
+        })
+        .collect();
+    // Deterministic output independent of hash-map iteration order.
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Object(pairs)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = value::expect_object(v, "map")?;
+        obj.iter().map(|(k, v)| Ok((key_from_str(k)?, V::deserialize(v)?))).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = value::expect_object(v, "map")?;
+        obj.iter().map(|(k, v)| Ok((key_from_str(k)?, V::deserialize(v)?))).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        // Deterministic output independent of hash-set iteration order.
+        items.sort_by_key(|a| a.to_string());
+        Value::Array(items)
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = value::expect_array(v, "set")?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = value::expect_array(v, "set")?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_owned(), Value::Number(Number::PosInt(self.as_secs()))),
+            ("nanos".to_owned(), Value::Number(Number::PosInt(self.subsec_nanos() as u64))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = value::expect_object(v, "Duration")?;
+        let secs = u64::deserialize(value::expect_field(obj, "secs", "Duration")?)?;
+        let nanos = u32::deserialize(value::expect_field(obj, "nanos", "Duration")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for PathBuf {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(PathBuf::from(String::deserialize(v)?))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_sort_keys_deterministically() {
+        let mut m = HashMap::new();
+        m.insert(10u32, "a".to_owned());
+        m.insert(2u32, "b".to_owned());
+        let v = m.serialize();
+        let obj = value::expect_object(&v, "map").unwrap();
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["10", "2"]);
+        let back: HashMap<u32, String> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duration_roundtrips() {
+        let d = Duration::new(3, 456);
+        let back = Duration::deserialize(&d.serialize()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let x: Option<(u32, f64)> = Some((7, 0.5));
+        let back: Option<(u32, f64)> = Deserialize::deserialize(&x.serialize()).unwrap();
+        assert_eq!(back, x);
+        let none: Option<u32> = Deserialize::deserialize(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+}

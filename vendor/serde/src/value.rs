@@ -1,0 +1,155 @@
+//! The owned data-model tree shared by `serde` and `serde_json`.
+
+use crate::Error;
+
+/// A JSON-style number that keeps 64-bit integers exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything with a fraction or exponent.
+    Float(f64),
+}
+
+/// An owned JSON-like value. Objects preserve insertion order so that
+/// serialization is deterministic and byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Expect an object, with a type name for the error message.
+pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    v.as_object().ok_or_else(|| Error::msg(format!("expected object for {ty}, got {v}")))
+}
+
+/// Expect an array, with a type name for the error message.
+pub fn expect_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+    v.as_array().ok_or_else(|| Error::msg(format!("expected array for {ty}, got {v}")))
+}
+
+/// Expect a field of an object, with a type name for the error message.
+pub fn expect_field<'a>(
+    obj: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, Error> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}` of {ty}")))
+}
+
+/// Expect an array of exactly `len` items.
+pub fn expect_tuple<'a>(v: &'a Value, len: usize, ty: &str) -> Result<&'a [Value], Error> {
+    let items =
+        v.as_array().ok_or_else(|| Error::msg(format!("expected array for {ty}, got {v}")))?;
+    if items.len() != len {
+        return Err(Error::msg(format!("expected {len} elements for {ty}, got {}", items.len())));
+    }
+    Ok(items)
+}
+
+/// Compact JSON rendering. Floats use Rust's shortest round-trip `Display`,
+/// so serialize → parse → serialize is byte-stable.
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::PosInt(n)) => write!(f, "{n}"),
+            Value::Number(Number::NegInt(n)) => write!(f, "{n}"),
+            Value::Number(Number::Float(x)) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Write a JSON string literal with escapes.
+fn write_json_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}

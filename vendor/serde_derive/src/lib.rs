@@ -1,0 +1,430 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the registry crates
+//! `syn`/`quote` are unavailable offline). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields → JSON objects (field order preserved);
+//! * one-field tuple structs (newtypes) → transparent;
+//! * multi-field tuple structs → arrays;
+//! * unit structs → `null`;
+//! * enums with unit / newtype / tuple / struct variants → externally
+//!   tagged, exactly like serde's default representation.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let item_kind = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generics are not supported (type {name})");
+        }
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum {name} has no body"),
+        },
+        other => panic!("derive target must be struct or enum, got {other}"),
+    };
+    Input { name, kind }
+}
+
+/// Skip any number of `#[...]` attributes (incl. doc comments).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            _ => panic!("malformed attribute"),
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Field names of a named-fields body, in declaration order.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        names.push(expect_ident(&toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    names
+}
+
+/// Skip one type, stopping at a top-level `,` (angle-bracket aware —
+/// commas inside `<...>` belong to the type).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Arity of a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        fields += 1;
+        skip_type(&toks, &mut i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            match p.as_char() {
+                ',' => i += 1,
+                '=' => panic!("explicit enum discriminants are not supported"),
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::value::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::value::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::value::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::serialize(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::value::expect_field(obj, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = ::serde::value::expect_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::value::expect_tuple(v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let items = ::serde::value::expect_tuple(\
+                                 inner, {n}, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(\
+                                         ::serde::value::expect_field(obj, \"{f}\", \
+                                         \"{name}::{vn}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let obj = ::serde::value::expect_object(\
+                                 inner, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown variant {{other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown variant {{other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"expected {name} variant, got {{other}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
