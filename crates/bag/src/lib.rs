@@ -17,6 +17,9 @@
 //! of §4 (JS only with BF, GJS only with TF/TF-IDF, BF only with sum,
 //! Rocchio only with cosine; CN is never combined with TF-IDF).
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod aggregate;
 pub mod similarity;
 pub mod vector;

@@ -19,14 +19,20 @@ fn bench_generation(c: &mut Criterion) {
     });
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 5));
     group.bench_function("prepare_smoke", |b| {
-        b.iter(|| PreparedCorpus::new(corpus.clone(), SplitConfig::default()).split.len())
+        b.iter(|| {
+            PreparedCorpus::new(corpus.clone(), SplitConfig::default())
+                .expect("well-formed")
+                .split
+                .len()
+        })
     });
     group.finish();
 }
 
 fn bench_scoring(c: &mut Criterion) {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 5));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let users: Vec<UserId> = prepared.split.users().collect();
     let opts = ScoringOptions { iteration_scale: 0.01, infer_iterations: 5, seed: 1 };
     let mut group = c.benchmark_group("score_configuration");

@@ -23,7 +23,7 @@ use pmr_topics::PoolingScheme;
 fn main() {
     let opts = HarnessOptions::from_env();
     let runner_opts = opts.runner_options();
-    let prepared = opts.prepare_corpus();
+    let prepared = opts.prepare_corpus().expect("corpus is well-formed");
     let runner = ExperimentRunner::new(&prepared);
     let map = |cfg: &ModelConfiguration| {
         runner.run(cfg, RepresentationSource::R, UserGroup::All, &runner_opts).map
@@ -78,7 +78,8 @@ fn main() {
         let mut sim_cfg = opts.sim_config();
         sim_cfg.retweet_gamma = gamma;
         let corpus = generate_corpus(&sim_cfg);
-        let prepared_g = PreparedCorpus::new(corpus, SplitConfig::default());
+        let prepared_g =
+            PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
         let runner_g = ExperimentRunner::new(&prepared_g);
         let cfg = ModelConfiguration::Bag {
             char_grams: false,
@@ -96,7 +97,7 @@ fn main() {
     for seed in [1u64, 2, 3] {
         let mut o = opts.clone();
         o.seed = seed;
-        let prepared_s = o.prepare_corpus();
+        let prepared_s = o.prepare_corpus().expect("corpus is well-formed");
         let runner_s = ExperimentRunner::new(&prepared_s);
         let tng = ModelConfiguration::Graph {
             char_grams: false,

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let prepared = opts.prepare_corpus();
+    let prepared = opts.prepare_corpus().expect("corpus is well-formed");
     let runner = ExperimentRunner::new(&prepared);
     let ro = opts.runner_options();
     let configs: Vec<(&str, ModelConfiguration)> = vec![

@@ -12,7 +12,7 @@ use pmr_sim::usertype::UserGroup;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
     let groups: Vec<UserGroup> = match opts.group {
         Some(g) => vec![g],
         None => vec![UserGroup::All, UserGroup::IP, UserGroup::BU, UserGroup::IS],

@@ -17,7 +17,7 @@ use pmr_core::ModelFamily;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
 
     println!("Figure 7(i): Training time (TTime) per model — min / avg / max\n");
     println!("{:<6} {:>12} {:>12} {:>12}", "Model", "min", "avg", "max");

@@ -23,7 +23,7 @@ use pmr_sim::usertype::UserGroup;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
     println!(
         "sweep complete: {} measurements at scale {} (seed {}, iter-scale {})",
         cache.sweep.results.len(),

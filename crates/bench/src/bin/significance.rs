@@ -24,7 +24,7 @@ use pmr_sim::UserId;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
     let source = RepresentationSource::R;
     let members = cache.group_members(UserGroup::All);
 

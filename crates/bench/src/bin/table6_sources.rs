@@ -12,7 +12,7 @@ use pmr_sim::usertype::UserGroup;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
 
     println!("Table 6: Min/Mean/Max MAP of the 13 representation sources over the 4 user types\n");
     print!("{:<10} {:<9}", "Group", "Stat");

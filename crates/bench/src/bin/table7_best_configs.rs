@@ -11,7 +11,7 @@ use pmr_core::{ModelFamily, RepresentationSource};
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let cache = SweepCache::load_or_run(&opts);
+    let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
 
     println!("Table 7: best configuration per model × representation source\n");
     for family in ModelFamily::EVALUATED {

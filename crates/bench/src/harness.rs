@@ -10,7 +10,9 @@ use pmr_core::executor::{self, Progress};
 use pmr_core::experiment::{ConfigResult, ExperimentRunner, RunnerOptions, SweepResult};
 use pmr_core::recommender::ScoringOptions;
 use pmr_core::split::SplitConfig;
-use pmr_core::{ConfigGrid, ModelFamily, PreparedCorpus, RepresentationSource};
+use pmr_core::{
+    ConfigGrid, ModelFamily, PmrError, PmrResult, PreparedCorpus, RepresentationSource,
+};
 use pmr_sim::usertype::UserGroup;
 use pmr_sim::{generate_corpus, ScalePreset, SimConfig, UserId};
 
@@ -228,8 +230,10 @@ impl HarnessOptions {
         self.effective_sources().iter().map(|s| s.name().to_owned()).collect()
     }
 
-    /// Generate and prepare the corpus.
-    pub fn prepare_corpus(&self) -> PreparedCorpus {
+    /// Generate and prepare the corpus. Fails only when the generated
+    /// corpus violates a structural invariant — a simulator bug, not a
+    /// configuration problem.
+    pub fn prepare_corpus(&self) -> PmrResult<PreparedCorpus> {
         let corpus = generate_corpus(&self.sim_config());
         PreparedCorpus::new(corpus, SplitConfig::default())
     }
@@ -298,20 +302,22 @@ impl SweepCache {
     /// family/source filters) is never reused — it is re-run with a stderr
     /// note instead, so a filtered smoke sweep can't silently stand in for
     /// the full grid.
-    pub fn load_or_run(opts: &HarnessOptions) -> SweepCache {
+    pub fn load_or_run(opts: &HarnessOptions) -> PmrResult<SweepCache> {
         let path = opts.sweep_path();
         if let Some(cache) = Self::load_if_valid(opts) {
-            return cache;
+            return Ok(cache);
         }
-        let cache = Self::run(opts);
+        let cache = Self::run(opts)?;
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        match std::fs::write(&path, serde_json::to_vec(&cache).expect("serializable")) {
+        let bytes = serde_json::to_vec(&cache)
+            .map_err(|e| PmrError::Serialize { detail: e.to_string() })?;
+        match std::fs::write(&path, bytes) {
             Ok(()) => eprintln!("cached sweep at {}", path.display()),
             Err(e) => eprintln!("could not cache sweep: {e}"),
         }
-        cache
+        Ok(cache)
     }
 
     /// Load the cached sweep for `opts` if it exists, parses, and was
@@ -382,8 +388,8 @@ impl SweepCache {
     /// canonical (source, config-index) order and the executor restores
     /// that order on collection, so the resulting cache JSON is identical
     /// for every `--jobs` value (wall-clock timing fields aside).
-    pub fn run(opts: &HarnessOptions) -> SweepCache {
-        let prepared = opts.prepare_corpus();
+    pub fn run(opts: &HarnessOptions) -> PmrResult<SweepCache> {
+        let prepared = opts.prepare_corpus()?;
         let runner = ExperimentRunner::new(&prepared);
         let runner_opts = opts.runner_options();
         let grid = ConfigGrid::paper();
@@ -431,7 +437,7 @@ impl SweepCache {
             groups.insert(group.name().to_owned(), users);
             baselines.insert(group.name().to_owned(), (chr, ran));
         }
-        SweepCache {
+        Ok(SweepCache {
             scale: opts.scale.name().to_owned(),
             seed: opts.seed,
             iteration_scale: opts.iteration_scale,
@@ -440,7 +446,7 @@ impl SweepCache {
             groups,
             baselines,
             sweep,
-        }
+        })
     }
 
     /// Members of a group.
@@ -527,7 +533,7 @@ impl SweepCache {
             |a, b| {
                 let ma = Self::group_map_in(a, &members);
                 let mb = Self::group_map_in(b, &members);
-                ma.partial_cmp(&mb).expect("MAPs are finite")
+                ma.total_cmp(&mb)
             },
         )
     }
@@ -609,7 +615,7 @@ mod tests {
     #[test]
     fn tiny_sweep_roundtrips_through_cache_format() {
         let opts = tiny_opts();
-        let cache = SweepCache::run(&opts);
+        let cache = SweepCache::run(&opts).expect("tiny sweep runs");
         assert_eq!(cache.sweep.results.len(), 9, "TNG spans 3 n-sizes × 3 similarities");
         let summary = cache.summary(ModelFamily::TNG, RepresentationSource::R, UserGroup::All);
         assert!(summary.max > 0.0);
@@ -623,8 +629,8 @@ mod tests {
 
     #[test]
     fn sweep_json_is_identical_for_any_job_count() {
-        let sequential = SweepCache::run(&HarnessOptions { jobs: 1, ..tiny_opts() });
-        let parallel = SweepCache::run(&HarnessOptions { jobs: 4, ..tiny_opts() });
+        let sequential = SweepCache::run(&HarnessOptions { jobs: 1, ..tiny_opts() }).expect("runs");
+        let parallel = SweepCache::run(&HarnessOptions { jobs: 4, ..tiny_opts() }).expect("runs");
         assert_eq!(
             json_sans_timings(&sequential.sweep),
             json_sans_timings(&parallel.sweep),
@@ -639,7 +645,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pmr_cache_validation_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let filtered = HarnessOptions { out_dir: dir.clone(), ..tiny_opts() };
-        let cache = SweepCache::run(&filtered);
+        let cache = SweepCache::run(&filtered).expect("tiny sweep runs");
         std::fs::write(filtered.sweep_path(), serde_json::to_vec(&cache).unwrap()).unwrap();
         // The full grid at the same scale/seed maps to the same cache path,
         // but must not reuse the filtered measurements.

@@ -19,6 +19,9 @@
 //! derived from those — valid because the paper, too, trains topic models
 //! on the train sets of *all* users and context models per user.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod harness;
 
 pub use harness::{HarnessOptions, Scale, SweepCache};

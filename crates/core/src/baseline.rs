@@ -77,7 +77,8 @@ mod tests {
 
     fn setup() -> (Corpus, TrainTestSplit) {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
-        let split = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        let split = TrainTestSplit::compute(&corpus, SplitConfig::default())
+            .expect("smoke corpus is well-formed");
         (corpus, split)
     }
 

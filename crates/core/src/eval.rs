@@ -43,10 +43,12 @@ pub fn average_precision(docs: &[ScoredDoc]) -> f64 {
         return 0.0;
     }
     let mut ranked: Vec<&ScoredDoc> = docs.iter().collect();
+    // Scores are finite in practice; treating an (impossible) NaN pair as
+    // equal keeps the sort total without changing any finite ordering.
     ranked.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
-            .expect("scores must be finite")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.tie_break.cmp(&b.tie_break))
     });
     let mut hits = 0usize;
@@ -68,12 +70,20 @@ pub fn mean_average_precision(aps: &[f64]) -> f64 {
     aps.iter().sum::<f64>() / aps.len() as f64
 }
 
+/// Min and max of a MAP slice, `None` when empty. The single reduction both
+/// [`map_deviation`] and [`MapSummary`] go through, so NaN handling (an NaN
+/// poisons both ends via `f64::min`/`f64::max` semantics) cannot drift
+/// between the two call sites.
+fn min_max(maps: &[f64]) -> Option<(f64, f64)> {
+    maps.iter().copied().map(|m| (m, m)).reduce(|(lo, hi), (m, _)| (lo.min(m), hi.max(m)))
+}
+
 /// MAP deviation: `max − min` MAP across a model's configurations — the
 /// paper's robustness measure (lower is more robust).
 pub fn map_deviation(maps: &[f64]) -> f64 {
-    match (maps.iter().cloned().reduce(f64::min), maps.iter().cloned().reduce(f64::max)) {
-        (Some(lo), Some(hi)) => hi - lo,
-        _ => 0.0,
+    match min_max(maps) {
+        Some((lo, hi)) => hi - lo,
+        None => 0.0,
     }
 }
 
@@ -92,14 +102,10 @@ pub struct MapSummary {
 impl MapSummary {
     /// Summarize a set of per-configuration MAPs.
     pub fn from_maps(maps: &[f64]) -> MapSummary {
-        if maps.is_empty() {
+        let Some((min, max)) = min_max(maps) else {
             return MapSummary { min: 0.0, mean: 0.0, max: 0.0 };
-        }
-        MapSummary {
-            min: maps.iter().cloned().fold(f64::INFINITY, f64::min),
-            mean: maps.iter().sum::<f64>() / maps.len() as f64,
-            max: maps.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        }
+        };
+        MapSummary { min, mean: maps.iter().sum::<f64>() / maps.len() as f64, max }
     }
 
     /// The robustness measure `max − min`.
@@ -181,6 +187,18 @@ mod tests {
         assert!((map_deviation(&[0.2, 0.5, 0.3]) - 0.3).abs() < 1e-9);
         assert_eq!(map_deviation(&[]), 0.0);
         assert_eq!(map_deviation(&[0.4]), 0.0);
+    }
+
+    #[test]
+    fn deviation_and_summary_agree() {
+        for maps in [&[0.2, 0.5, 0.3][..], &[][..], &[0.4][..], &[f64::NAN, 0.1][..]] {
+            let direct = map_deviation(maps);
+            let via_summary = MapSummary::from_maps(maps).deviation();
+            assert!(
+                direct == via_summary || (direct.is_nan() && via_summary.is_nan()),
+                "{direct} vs {via_summary}"
+            );
+        }
     }
 
     #[test]

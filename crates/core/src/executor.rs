@@ -64,6 +64,7 @@ pub fn inner_threads() -> usize {
 }
 
 /// Scoped inner-thread override: holds `max(1, n_cpu / jobs)` until dropped.
+#[derive(Debug)]
 pub struct InnerThreadsGuard {
     prev: usize,
 }
@@ -84,6 +85,7 @@ impl Drop for InnerThreadsGuard {
 
 /// A shared atomic progress counter that reports to stderr every `every`
 /// completions (and on the final one). Safe to tick from any worker.
+#[derive(Debug)]
 pub struct Progress {
     total: usize,
     every: usize,
@@ -94,6 +96,7 @@ pub struct Progress {
 impl Progress {
     /// A counter over `total` tasks reporting every `every` ticks.
     pub fn new(total: usize, every: usize) -> Progress {
+        // pmr-lint: allow(wall-clock): feeds the stderr progress line only, never a result artifact
         Progress { total, every: every.max(1), done: AtomicUsize::new(0), started: Instant::now() }
     }
 

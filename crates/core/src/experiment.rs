@@ -105,9 +105,7 @@ impl SweepResult {
         source: RepresentationSource,
         group: UserGroup,
     ) -> Option<&ConfigResult> {
-        self.select(family, source, group)
-            .into_iter()
-            .max_by(|a, b| a.map.partial_cmp(&b.map).expect("MAPs are finite"))
+        self.select(family, source, group).into_iter().max_by(|a, b| a.map.total_cmp(&b.map))
     }
 
     /// TTime statistics of a family across all its measurements (Fig. 7i).
@@ -131,6 +129,7 @@ impl SweepResult {
 }
 
 /// Drives sweeps over a prepared corpus.
+#[derive(Debug)]
 pub struct ExperimentRunner<'a> {
     prepared: &'a PreparedCorpus,
     partition: Partition,
@@ -230,12 +229,8 @@ impl<'a> ExperimentRunner<'a> {
         let aps: Vec<f64> = self
             .group_users(group)
             .into_iter()
-            .map(|u| {
-                chronological_ap(
-                    &self.prepared.corpus,
-                    self.prepared.split.user(u).expect("group_users filters on split"),
-                )
-            })
+            .filter_map(|u| self.prepared.split.user(u))
+            .map(|s| chronological_ap(&self.prepared.corpus, s))
             .collect();
         mean_average_precision(&aps)
     }
@@ -245,13 +240,8 @@ impl<'a> ExperimentRunner<'a> {
         let aps: Vec<f64> = self
             .group_users(group)
             .into_iter()
-            .map(|u| {
-                random_ap(
-                    self.prepared.split.user(u).expect("group_users filters on split"),
-                    opts.ran_iterations,
-                    opts.scoring.seed,
-                )
-            })
+            .filter_map(|u| self.prepared.split.user(u))
+            .map(|s| random_ap(s, opts.ran_iterations, opts.scoring.seed))
             .collect();
         mean_average_precision(&aps)
     }
@@ -268,7 +258,7 @@ mod tests {
 
     fn prepared() -> PreparedCorpus {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
-        PreparedCorpus::new(corpus, SplitConfig::default())
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("smoke corpus is well-formed")
     }
 
     fn quick_opts() -> RunnerOptions {

@@ -23,8 +23,12 @@
 //!    chronological and random baselines; [`experiment`] sweeps and times
 //!    everything ([`timing`]).
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod baseline;
 pub mod config;
+pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod experiment;
@@ -39,6 +43,7 @@ pub mod timing;
 
 pub use baseline::{chronological_ap, random_ap};
 pub use config::{AggKind, ConfigGrid, ModelConfiguration, ModelFamily};
+pub use error::{PmrError, PmrResult};
 pub use eval::{average_precision, map_deviation, mean_average_precision};
 pub use experiment::{ExperimentRunner, RunnerOptions, SweepResult};
 pub use online::{OnlineBagModel, OnlineGraphModel};

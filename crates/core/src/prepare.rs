@@ -17,6 +17,7 @@ use pmr_text::token::{Token, TokenKind};
 use pmr_text::vocab::Vocabulary;
 use pmr_text::{StopWords, Tokenizer};
 
+use crate::error::PmrResult;
 use crate::split::{SplitConfig, TrainTestSplit};
 
 /// A corpus with its split and all per-tweet preprocessing artifacts.
@@ -38,16 +39,19 @@ pub struct PreparedCorpus {
 impl PreparedCorpus {
     /// Tokenize everything, fit the stop-word filter on the training
     /// tweets, and precompute the filtered content.
-    pub fn new(corpus: Corpus, split_config: SplitConfig) -> Self {
-        let split = TrainTestSplit::compute(&corpus, split_config);
+    ///
+    /// Fails only when the corpus itself is structurally broken (see
+    /// [`TrainTestSplit::compute`]).
+    pub fn new(corpus: Corpus, split_config: SplitConfig) -> PmrResult<Self> {
+        let split = TrainTestSplit::compute(&corpus, split_config)?;
         let tokenizer = Tokenizer::default();
         let tokens: Vec<Vec<Token>> =
             corpus.tweets.iter().map(|t| tokenizer.tokenize(&t.text)).collect();
         // "Training tweets" = everything that is not a test document of any
         // user.
         let mut is_test = vec![false; corpus.tweets.len()];
-        for u in split.users() {
-            for id in split.user(u).expect("users() yields split users").test_docs() {
+        for (_, user_split) in split.iter() {
+            for id in user_split.test_docs() {
                 is_test[id.index()] = true;
             }
         }
@@ -78,7 +82,7 @@ impl PreparedCorpus {
                     .collect()
             })
             .collect();
-        PreparedCorpus { corpus, split, tokens, content, hashtags, stopwords }
+        Ok(PreparedCorpus { corpus, split, tokens, content, hashtags, stopwords })
     }
 
     /// Stop-filtered token texts of a tweet — the input of all token-based
@@ -109,6 +113,17 @@ impl PreparedCorpus {
     }
 }
 
+impl std::fmt::Debug for PreparedCorpus {
+    /// A summary — the full token streams would swamp any log line.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedCorpus")
+            .field("tweets", &self.corpus.tweets.len())
+            .field("split_users", &self.split.len())
+            .field("stopwords", &self.stopwords.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +131,7 @@ mod tests {
 
     fn prepared() -> PreparedCorpus {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
-        PreparedCorpus::new(corpus, SplitConfig::default())
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("smoke corpus is well-formed")
     }
 
     #[test]

@@ -282,12 +282,14 @@ where
             handles.push((ci, scope.spawn(move || items_chunk.iter().map(f).collect::<Vec<R>>())));
         }
         for (ci, h) in handles {
+            // pmr-lint: allow(lib-unwrap): re-raises a worker panic on the coordinating thread
             let results = h.join().expect("worker panicked");
             for (i, r) in results.into_iter().enumerate() {
                 out[ci * chunk + i] = Some(r);
             }
         }
     });
+    // pmr-lint: allow(lib-unwrap): every index is written exactly once by the chunk loop above
     out.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 

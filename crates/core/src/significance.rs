@@ -83,7 +83,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> PairedComparison {
     if n == 0 {
         return PairedComparison { mean_difference, p_value: 1.0, pairs: 0 };
     }
-    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite"));
+    diffs.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
     // Ranks with midrank ties.
     let mut ranks = vec![0.0f64; n];
     let mut i = 0;

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use pmr_sim::{Corpus, Timestamp, TweetId, UserId};
 
+use crate::error::{PmrError, PmrResult};
 use crate::source::RepresentationSource;
 
 /// Split parameters.
@@ -80,14 +81,17 @@ impl TrainTestSplit {
     /// the paper's dataset construction guarantees ≥ 400 retweets per user,
     /// and the simulator's plans guarantee a non-empty sample at every
     /// scale, so exclusions indicate a mis-configured corpus.
-    pub fn compute(corpus: &Corpus, config: SplitConfig) -> TrainTestSplit {
+    ///
+    /// Errors only on a structurally broken corpus (a retweet whose
+    /// original is missing) — degenerate users are skipped, not fatal.
+    pub fn compute(corpus: &Corpus, config: SplitConfig) -> PmrResult<TrainTestSplit> {
         let mut per_user = HashMap::new();
         for user in corpus.evaluated_user_ids() {
-            if let Some(split) = split_user(corpus, user, &config) {
+            if let Some(split) = split_user(corpus, user, &config)? {
                 per_user.insert(user, split);
             }
         }
-        TrainTestSplit { per_user, config }
+        Ok(TrainTestSplit { per_user, config })
     }
 
     /// The split of one user, if she has a test set.
@@ -100,6 +104,14 @@ impl TrainTestSplit {
         let mut ids: Vec<UserId> = self.per_user.keys().copied().collect();
         ids.sort();
         ids.into_iter()
+    }
+
+    /// Every user's split, in ascending user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &UserSplit)> + '_ {
+        let mut pairs: Vec<(UserId, &UserSplit)> =
+            self.per_user.iter().map(|(&u, s)| (u, s)).collect();
+        pairs.sort_by_key(|(u, _)| *u);
+        pairs.into_iter()
     }
 
     /// Number of users with a valid split.
@@ -157,40 +169,47 @@ impl TrainTestSplit {
     }
 }
 
-fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<UserSplit> {
+/// The original of a retweet, or a [`PmrError::CorpusInvariant`] if the
+/// corpus handed us a non-retweet where only retweets may appear.
+fn original_of(corpus: &Corpus, user: UserId, rt: TweetId) -> PmrResult<TweetId> {
+    corpus.tweet(rt).retweet_of.ok_or_else(|| {
+        PmrError::invariant(format!(
+            "tweet {} in retweets_of(user {}) is not a retweet",
+            rt.0, user.0
+        ))
+    })
+}
+
+fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> PmrResult<Option<UserSplit>> {
     let followee_set: HashSet<UserId> = corpus.graph.followees(user).iter().copied().collect();
     // Feed-retweets: retweets whose original was authored by a followee —
     // the retweets that correspond to rankable incoming documents.
-    let feed_retweets: Vec<TweetId> = corpus
-        .retweets_of(user)
-        .iter()
-        .copied()
-        .filter(|&rt| {
-            let orig = corpus.tweet(rt).retweet_of.expect("retweets_of returns retweets");
-            followee_set.contains(&corpus.tweet(orig).author)
-        })
-        .collect();
+    let mut feed_retweets: Vec<TweetId> = Vec::new();
+    for &rt in corpus.retweets_of(user) {
+        let orig = original_of(corpus, user, rt)?;
+        if followee_set.contains(&corpus.tweet(orig).author) {
+            feed_retweets.push(rt);
+        }
+    }
     if feed_retweets.is_empty() {
-        return None;
+        return Ok(None);
     }
     let base_k = ((feed_retweets.len() as f64 * config.test_retweet_fraction).ceil() as usize)
         .clamp(1, feed_retweets.len());
     // Everything the user ever retweeted is disqualified from being a
     // negative, regardless of phase.
-    let retweeted_ever: HashSet<TweetId> = corpus
-        .retweets_of(user)
-        .iter()
-        .map(|&rt| corpus.tweet(rt).retweet_of.expect("retweets point at originals"))
-        .collect();
+    let mut retweeted_ever: HashSet<TweetId> = HashSet::new();
+    for &rt in corpus.retweets_of(user) {
+        retweeted_ever.insert(original_of(corpus, user, rt)?);
+    }
     let incoming = corpus.incoming_of(user);
     // A user with a tiny feed can land the 20% boundary at the extreme tail
     // of the horizon, leaving a testing phase without a single negative
     // candidate. Widen the retweet sample (pull the boundary earlier) until
     // candidates exist; users whose base sample already works are untouched.
-    let (sample, split_time, mut candidates) = (base_k..=feed_retweets.len()).find_map(|k| {
+    let found = (base_k..=feed_retweets.len()).find_map(|k| {
         let sample = &feed_retweets[feed_retweets.len() - k..];
-        let split_time: Timestamp =
-            sample.iter().map(|&rt| corpus.tweet(rt).timestamp).min().expect("sample is non-empty");
+        let split_time: Timestamp = sample.iter().map(|&rt| corpus.tweet(rt).timestamp).min()?;
         // Negative candidates: testing-phase incoming items (originals and
         // followee retweets alike — both arrive in the feed) whose content
         // the user never reposted.
@@ -206,7 +225,10 @@ fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<Use
         candidates.sort();
         candidates.dedup();
         (!candidates.is_empty()).then_some((sample, split_time, candidates))
-    })?;
+    });
+    let Some((sample, split_time, mut candidates)) = found else {
+        return Ok(None);
+    };
     // Keep the paper's "reasonable proportion between the two classes": if
     // the testing phase cannot supply 4 negatives per positive, trim the
     // positive sample to its most recent entries.
@@ -214,7 +236,7 @@ fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<Use
         (candidates.len() / config.negatives_per_positive.max(1)).max(1).min(sample.len());
     let mut positives: Vec<TweetId> = Vec::new();
     for &rt in sample.iter().rev() {
-        let orig = corpus.tweet(rt).retweet_of.expect("retweets point at originals");
+        let orig = original_of(corpus, user, rt)?;
         if !positives.contains(&orig) {
             positives.push(orig);
         }
@@ -228,7 +250,7 @@ fn split_user(corpus: &Corpus, user: UserId, config: &SplitConfig) -> Option<Use
     let wanted = positives.len() * config.negatives_per_positive;
     candidates.truncate(wanted);
     candidates.sort();
-    Some(UserSplit { user, split_time, positives, negatives: candidates })
+    Ok(Some(UserSplit { user, split_time, positives, negatives: candidates }))
 }
 
 #[cfg(test)]
@@ -238,7 +260,8 @@ mod tests {
 
     fn setup() -> (Corpus, TrainTestSplit) {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
-        let split = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        let split = TrainTestSplit::compute(&corpus, SplitConfig::default())
+            .expect("smoke corpus is well-formed");
         (corpus, split)
     }
 
@@ -357,8 +380,8 @@ mod tests {
     #[test]
     fn split_is_deterministic() {
         let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 99));
-        let a = TrainTestSplit::compute(&corpus, SplitConfig::default());
-        let b = TrainTestSplit::compute(&corpus, SplitConfig::default());
+        let a = TrainTestSplit::compute(&corpus, SplitConfig::default()).expect("well-formed");
+        let b = TrainTestSplit::compute(&corpus, SplitConfig::default()).expect("well-formed");
         for u in a.users() {
             assert_eq!(a.user(u).unwrap().negatives, b.user(u).unwrap().negatives);
         }

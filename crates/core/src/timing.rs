@@ -18,15 +18,12 @@ pub struct TimeStats {
 impl TimeStats {
     /// Aggregate a set of observations (zeros if empty).
     pub fn from_durations(ds: &[Duration]) -> TimeStats {
-        if ds.is_empty() {
+        let Some((&first, rest)) = ds.split_first() else {
             return TimeStats { min: Duration::ZERO, avg: Duration::ZERO, max: Duration::ZERO };
-        }
+        };
         let total: Duration = ds.iter().sum();
-        TimeStats {
-            min: *ds.iter().min().expect("nonempty"),
-            avg: total / ds.len() as u32,
-            max: *ds.iter().max().expect("nonempty"),
-        }
+        let (min, max) = rest.iter().fold((first, first), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+        TimeStats { min, avg: total / ds.len() as u32, max }
     }
 }
 

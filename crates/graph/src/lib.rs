@@ -14,6 +14,9 @@
 //! *update operator* ([`NGramGraph::merge`]); graphs are compared with the
 //! containment, value and normalized value similarities ([`similarity`]).
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod graph;
 pub mod similarity;
 

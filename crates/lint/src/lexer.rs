@@ -1,0 +1,347 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! lint rules, with none of `syn`'s weight (the vendor tree is offline-only
+//! and carries no parser crates).
+//!
+//! The lexer is loss-tolerant by design: it only needs to distinguish
+//! identifiers, punctuation, literals and lifetimes, attach line/column
+//! positions, and keep comments separate (suppression directives live in
+//! comments). Anything it cannot classify becomes punctuation, which no
+//! rule matches on — an unknown construct can therefore never produce a
+//! false positive, only a false negative.
+
+/// The coarse kind of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A string, raw-string, byte-string or char literal.
+    StrLit,
+    /// A numeric literal.
+    NumLit,
+    /// A single punctuation character (`.`, `(`, `::` is two tokens).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (a single char for punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A comment with its source position, `//`/`/*` markers stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text without its delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order (suppression directives live here).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex a Rust source file. Never fails: malformed input degrades into
+/// punctuation tokens, which no rule matches.
+pub fn lex(source: &str) -> Lexed {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_lit(line, col),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text: text.trim().to_owned(), line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { text: text.trim().to_owned(), line });
+    }
+
+    fn string_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line, col);
+    }
+
+    /// Handle `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`. Returns false if
+    /// the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 1; // past the leading r or b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false; // an identifier like `run` or `baseline`
+        }
+        // `b"..."` has no hashes and is a plain (escaped) byte string.
+        let raw = self.peek(0) == Some('r') || self.peek(1) == Some('r');
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes and opening quote
+        }
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') if !raw => {
+                    self.bump();
+                }
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line, col);
+        true
+    }
+
+    /// Disambiguate char literals (`'x'`, `'\n'`) from lifetimes (`'a`).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        let first = self.peek(1);
+        let second = self.peek(2);
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.bump(); // opening quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::StrLit, String::new(), line, col);
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for positions: consume digits, type suffixes and
+            // separators; `1.0f64` lexes as one numeric token, `0..n` stops
+            // at the range operator.
+            if c.is_alphanumeric() || c == '_' || (c == '.' && self.peek(1) != Some('.')) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::NumLit, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_punct() {
+        let l = lex("let mut x = foo.bar();");
+        assert_eq!(idents("let mut x = foo.bar();"), ["let", "mut", "x", "foo", "bar"]);
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Punct && t.text == "."));
+    }
+
+    #[test]
+    fn comments_are_kept_separately() {
+        let l = lex("a(); // pmr-lint: allow(x): reason\n/* block */ b();");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "pmr-lint: allow(x): reason");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let l = lex(r#"let s = "unwrap() // not a comment"; t.unwrap();"#);
+        assert_eq!(l.comments.len(), 0);
+        let unwraps = l.toks.iter().filter(|t| t.text == "unwrap").count();
+        assert_eq!(unwraps, 1, "the unwrap inside the string literal must not lex as an ident");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex("let s = r#\"has \"quotes\" and // slashes\"#; x()");
+        assert_eq!(l.comments.len(), 0);
+        assert!(l.toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::StrLit).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  b");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "x");
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let l = lex("1.5f64 + 0..n");
+        assert_eq!(l.toks[0].kind, TokKind::NumLit);
+        assert_eq!(l.toks[0].text, "1.5f64");
+        assert!(l.toks.iter().any(|t| t.text == "n"));
+    }
+}

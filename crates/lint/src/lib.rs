@@ -1,0 +1,127 @@
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+//! # pmr-lint
+//!
+//! A standalone static-analysis tool enforcing the workspace's determinism
+//! and correctness invariants. PR 1 made byte-identical sweep output for
+//! any `--jobs N` the repo's headline guarantee; this crate is the machine
+//! check that keeps it true: no hash-ordered iteration feeding output, no
+//! unseeded randomness, no wall-clock reads outside the timing layer, no
+//! panicking library paths, no order-sensitive float accumulation.
+//!
+//! The tool lexes every `.rs` file with a small hand-rolled lexer (the
+//! vendor tree is offline-only, so no `syn`) and runs five named,
+//! individually-suppressable rules over the token stream — see
+//! [`rules::RULES`] for the catalog and the README's "Static analysis &
+//! determinism policy" section for how and when to suppress.
+//!
+//! Run it with `cargo run -p pmr-lint -- --deny-all` (CI does).
+
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding};
+
+/// Directories never scanned: vendored stand-ins, build output, VCS
+/// internals, result artifacts, and the linter's own deliberately-violating
+/// fixtures.
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "results", "fixtures"];
+
+/// Locate the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every lintable `.rs` file under `root`, workspace-relative with forward
+/// slashes, in sorted order (deterministic output — the linter practices
+/// what it preaches).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Lint every file of the workspace at `root`; findings come back sorted
+/// by (path, line, col).
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root) {
+        let Ok(source) = std::fs::read_to_string(&path) else { continue };
+        let rel = rel_path(root, &path);
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    findings
+}
+
+/// Workspace-relative, forward-slash form of `path`.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_path(root, Path::new("/a/b/crates/x/src/lib.rs")), "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root exists");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates/lint").exists());
+    }
+
+    #[test]
+    fn fixtures_and_vendor_are_never_scanned() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root exists");
+        for f in workspace_files(&root) {
+            let rel = rel_path(&root, &f);
+            assert!(!rel.contains("fixtures/"), "fixture {rel} must not be scanned");
+            assert!(!rel.starts_with("vendor/"), "vendored {rel} must not be scanned");
+            assert!(!rel.starts_with("target/"), "build output {rel} must not be scanned");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! CLI for the workspace determinism/correctness linter.
+//!
+//! ```text
+//! pmr-lint [--root DIR] [--format text|json] [--deny-all] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole workspace is scanned (vendor/target/
+//! fixtures excluded). `--deny-all` exits non-zero on any finding — the CI
+//! mode. `--format json` emits a machine-readable findings array.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pmr_lint::{find_workspace_root, lint_source, lint_workspace, rel_path, Finding};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, json: false, deny_all: false, files: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = args.next().ok_or("--format needs a value")?;
+                match v.as_str() {
+                    "json" => opts.json = true,
+                    "text" => opts.json = false,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--help" | "-h" => {
+                println!(
+                    "pmr-lint: determinism & correctness linter for the pmr workspace\n\n\
+                     usage: pmr-lint [--root DIR] [--format text|json] [--deny-all] [FILE...]\n\n\
+                     rules:"
+                );
+                for (name, what) in pmr_lint::rules::RULES {
+                    println!("  {name:<14} {what}");
+                }
+                println!(
+                    "\nsuppress a finding with a justified inline comment:\n  \
+                     // pmr-lint: allow(rule-name): why the violation is sound"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts
+        .root
+        .clone()
+        .or_else(|| find_workspace_root(Path::new(".")))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let findings: Vec<Finding> = if opts.files.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let mut all = Vec::new();
+        for file in &opts.files {
+            match std::fs::read_to_string(file) {
+                Ok(source) => {
+                    let rel = rel_path(&root, &file.canonicalize().unwrap_or(file.clone()));
+                    all.extend(lint_source(&rel, &source));
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        all
+    };
+
+    if opts.json {
+        match serde_json::to_string_pretty(&findings) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize findings: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for f in &findings {
+            println!("{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
+        }
+        if findings.is_empty() {
+            eprintln!("pmr-lint: clean");
+        } else {
+            eprintln!("pmr-lint: {} finding(s)", findings.len());
+        }
+    }
+
+    if opts.deny_all && !findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

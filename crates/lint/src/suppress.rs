@@ -1,0 +1,166 @@
+//! Inline suppression directives.
+//!
+//! A finding is silenced with a comment of the form
+//!
+//! ```text
+//! // pmr-lint: allow(rule-name): why this is sound
+//! ```
+//!
+//! naming one or more rules (`allow(rule-a, rule-b)`), followed by a
+//! **required** justification. A trailing comment suppresses its own line;
+//! a comment on its own line suppresses the next line of code. An allow
+//! without a justification, or naming an unknown rule, is itself reported
+//! (`bare-allow` / `unknown-rule`) — the suppression mechanism must not rot
+//! into a silent opt-out.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Comment, Tok};
+use crate::rules::{is_known_rule, Finding};
+
+/// The parsed suppressions of one file: rule name → suppressed lines.
+#[derive(Debug, Clone, Default)]
+pub struct SuppressionTable {
+    by_rule: HashMap<String, Vec<u32>>,
+}
+
+impl SuppressionTable {
+    /// Whether `rule` is suppressed on `line`.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.by_rule.get(rule).is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Parse every `pmr-lint: allow(...)` directive out of a file's comments.
+/// Returns the table plus the meta findings (bare allows, unknown rules).
+pub fn parse_suppressions(
+    rel_path: &str,
+    comments: &[Comment],
+    toks: &[Tok],
+) -> (SuppressionTable, Vec<Finding>) {
+    let mut table = SuppressionTable::default();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`) lex with a leading `/` or `!`; they
+        // document the directive syntax, they don't invoke it.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(directive) = parse_directive(&c.text) else { continue };
+        let target = target_line(c.line, toks);
+        if directive.rules.is_empty() {
+            findings.push(meta(rel_path, c.line, "bare-allow", "allow() names no rule"));
+            continue;
+        }
+        if directive.justification.is_empty() {
+            findings.push(meta(
+                rel_path,
+                c.line,
+                "bare-allow",
+                "allow directive without a justification — say why the violation is sound",
+            ));
+            continue;
+        }
+        for rule in directive.rules {
+            if !is_known_rule(&rule) {
+                findings.push(meta(
+                    rel_path,
+                    c.line,
+                    "unknown-rule",
+                    &format!("allow names unknown rule `{rule}`"),
+                ));
+                continue;
+            }
+            let lines = table.by_rule.entry(rule).or_default();
+            lines.push(c.line);
+            if let Some(next) = target {
+                lines.push(next);
+            }
+        }
+    }
+    (table, findings)
+}
+
+struct Directive {
+    rules: Vec<String>,
+    justification: String,
+}
+
+/// Parse `pmr-lint: allow(a, b): justification` out of a comment body.
+fn parse_directive(text: &str) -> Option<Directive> {
+    let rest = text.split("pmr-lint:").nth(1)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_owned()).filter(|r| !r.is_empty()).collect();
+    let justification =
+        rest[close + 1..].trim_start_matches([':', '-', '—', ' ', '\t']).trim().to_owned();
+    Some(Directive { rules, justification })
+}
+
+/// The line a directive at `line` protects besides itself: the next line
+/// carrying a code token (for the comment-above style). A trailing comment
+/// shares its line with code, which `is_suppressed` already covers.
+fn target_line(line: u32, toks: &[Tok]) -> Option<u32> {
+    toks.iter().map(|t| t.line).filter(|&l| l > line).min()
+}
+
+fn meta(rel_path: &str, line: u32, rule: &str, message: &str) -> Finding {
+    Finding {
+        rule: rule.to_owned(),
+        path: rel_path.to_owned(),
+        line,
+        col: 1,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn directive_parses_rules_and_justification() {
+        let d = parse_directive("pmr-lint: allow(wall-clock): progress display only").unwrap();
+        assert_eq!(d.rules, ["wall-clock"]);
+        assert_eq!(d.justification, "progress display only");
+    }
+
+    #[test]
+    fn directive_parses_multiple_rules_and_dash_separator() {
+        let d = parse_directive("pmr-lint: allow(lib-unwrap, wall-clock) — measured only").unwrap();
+        assert_eq!(d.rules, ["lib-unwrap", "wall-clock"]);
+        assert_eq!(d.justification, "measured only");
+    }
+
+    #[test]
+    fn non_directives_are_ignored() {
+        assert!(parse_directive("ordinary comment about pmr").is_none());
+        assert!(parse_directive("pmr-lint: deny(x)").is_none());
+    }
+
+    #[test]
+    fn own_line_suppression_covers_the_next_code_line() {
+        let lexed = lex("fn f() {\n// pmr-lint: allow(lib-unwrap): reason\n\nx.unwrap();\n}");
+        let (table, findings) = parse_suppressions("p.rs", &lexed.comments, &lexed.toks);
+        assert!(findings.is_empty());
+        assert!(table.is_suppressed("lib-unwrap", 4));
+        assert!(!table.is_suppressed("lib-unwrap", 5));
+        assert!(!table.is_suppressed("wall-clock", 4));
+    }
+
+    #[test]
+    fn missing_justification_and_unknown_rules_are_reported() {
+        let lexed = lex("// pmr-lint: allow(lib-unwrap)\nx.unwrap();");
+        let (table, findings) = parse_suppressions("p.rs", &lexed.comments, &lexed.toks);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "bare-allow");
+        assert!(!table.is_suppressed("lib-unwrap", 2));
+
+        let lexed = lex("// pmr-lint: allow(no-such-rule): because\nx();");
+        let (_, findings) = parse_suppressions("p.rs", &lexed.comments, &lexed.toks);
+        assert_eq!(findings[0].rule, "unknown-rule");
+    }
+}

@@ -1,0 +1,8 @@
+//! Clean: values are pulled into a canonical order before summation.
+use std::collections::HashMap;
+
+pub fn total(m: HashMap<u32, f64>) -> f64 {
+    let mut vs: Vec<f64> = m.values().copied().collect();
+    vs.sort_by(f64::total_cmp);
+    vs.iter().sum::<f64>()
+}

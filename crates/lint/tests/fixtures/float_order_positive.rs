@@ -1,0 +1,6 @@
+//! Deliberate violation: float accumulation in hash-iteration order.
+use std::collections::HashMap;
+
+pub fn total(m: HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}

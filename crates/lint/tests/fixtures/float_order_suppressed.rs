@@ -1,0 +1,6 @@
+//! Violation silenced by a justified multi-rule allow directive.
+use std::collections::HashMap;
+
+pub fn total(m: HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>() // pmr-lint: allow(float-order, nondet-iter): fixture — the sum is compared with a tolerance, not serialized
+}

@@ -1,0 +1,5 @@
+//! Clean: the absent case is handled, not panicked on.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+//! Deliberate violation: a panicking unwrap on a library path.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

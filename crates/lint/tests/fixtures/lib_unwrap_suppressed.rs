@@ -1,0 +1,6 @@
+//! Violation silenced by a justified allow directive.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // pmr-lint: allow(lib-unwrap): fixture — caller guarantees a non-empty slice
+    *xs.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Clean: the collected order is canonicalized before anyone can see it.
+use std::collections::HashMap;
+
+pub fn export(m: HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,10 @@
+//! Deliberate violation: hash-ordered iteration feeds a Vec without a sort.
+use std::collections::HashMap;
+
+pub fn export(m: HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}

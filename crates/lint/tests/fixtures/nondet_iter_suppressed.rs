@@ -1,0 +1,11 @@
+//! Violation silenced by a justified allow directive.
+use std::collections::HashMap;
+
+pub fn export(m: HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    // pmr-lint: allow(nondet-iter): fixture — the caller re-sorts before serializing
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}

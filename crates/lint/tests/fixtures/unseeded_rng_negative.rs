@@ -1,0 +1,8 @@
+//! Clean: every random decision flows from an explicit seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

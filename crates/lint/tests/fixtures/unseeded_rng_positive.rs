@@ -1,0 +1,6 @@
+//! Deliberate violation: OS entropy instead of an explicit seed.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! Violation silenced by a justified allow directive.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // pmr-lint: allow(unseeded-rng): fixture — result is discarded, never recorded
+    rng.gen()
+}

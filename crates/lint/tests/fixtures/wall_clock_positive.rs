@@ -1,0 +1,7 @@
+//! Deliberate violation: a wall-clock read outside the timing layer.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,8 @@
+//! Violation silenced by a justified allow directive.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    // pmr-lint: allow(wall-clock): fixture — feeds a debug log line, never a result artifact
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -333,7 +333,7 @@ fn weighted_sample_without_replacement(
             (key, item)
         })
         .collect();
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite or -inf"));
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     keyed.truncate(k);
     keyed.into_iter().map(|(_, item)| item).collect()
 }

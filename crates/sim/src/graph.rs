@@ -169,14 +169,14 @@ impl SocialGraph {
                 let mut candidates: Vec<UserId> = self.followers(u).to_vec();
                 candidates.sort_by_key(|v| users[v.index()].planned_outgoing());
                 candidates.truncate(5);
-                let best = candidates
-                    .into_iter()
-                    .max_by(|&a, &b| {
-                        let sa = cosine(&users[i].interests, &users[a.index()].interests);
-                        let sb = cosine(&users[i].interests, &users[b.index()].interests);
-                        sa.partial_cmp(&sb).expect("scores are finite")
-                    })
-                    .expect("every user has followers after the loop above");
+                let best = candidates.into_iter().max_by(|&a, &b| {
+                    let sa = cosine(&users[i].interests, &users[a.index()].interests);
+                    let sb = cosine(&users[i].interests, &users[b.index()].interests);
+                    sa.total_cmp(&sb)
+                });
+                // Unreachable in practice — the follower loop above
+                // guarantees candidates — but a skip beats a panic.
+                let Some(best) = best else { continue };
                 let added = !self.follows(u, best);
                 self.add_edge(u, best);
                 // Swap out the followee of closest volume so the follow-back
@@ -229,7 +229,7 @@ fn score_candidates<R: Rng + ?Sized>(
             (homophily + follow_back + same_lang + jitter, j)
         })
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     scored
 }
 

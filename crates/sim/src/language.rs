@@ -240,12 +240,14 @@ pub fn synth_word<R: Rng + ?Sized>(rng: &mut R, language: Language) -> String {
         Language::Chinese => {
             // CJK Unified Ideographs from a compact frequent-range slice.
             (0..rng.gen_range(1..4))
+                // pmr-lint: allow(lib-unwrap): 0x4E00..0x55D0 is entirely inside the CJK block, no surrogates
                 .map(|_| char::from_u32(0x4E00 + rng.gen_range(0..2000)).expect("valid CJK"))
                 .collect()
         }
         Language::Korean => {
             // Precomposed Hangul syllables.
             (0..rng.gen_range(1..4))
+                // pmr-lint: allow(lib-unwrap): 0xAC00..0xB3D0 is entirely inside the Hangul syllable block
                 .map(|_| char::from_u32(0xAC00 + rng.gen_range(0..2000)).expect("valid Hangul"))
                 .collect()
         }

@@ -31,6 +31,9 @@
 //! default is laptop-sized (×~25 smaller than the paper's 2.07M tweets) and
 //! `ScalePreset::Full` approaches the paper's magnitudes.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod config;
 pub mod corpus;
 pub mod generate;

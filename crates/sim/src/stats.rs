@@ -23,16 +23,12 @@ pub struct VolumeStats {
 
 impl VolumeStats {
     fn from_counts(counts: &[usize]) -> VolumeStats {
-        if counts.is_empty() {
+        let Some((&first, rest)) = counts.split_first() else {
             return VolumeStats { total: 0, min: 0, mean: 0.0, max: 0 };
-        }
+        };
         let total: usize = counts.iter().sum();
-        VolumeStats {
-            total,
-            min: *counts.iter().min().expect("nonempty"),
-            mean: total as f64 / counts.len() as f64,
-            max: *counts.iter().max().expect("nonempty"),
-        }
+        let (min, max) = rest.iter().fold((first, first), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        VolumeStats { total, min, mean: total as f64 / counts.len() as f64, max }
     }
 }
 
@@ -91,6 +87,7 @@ impl Table2 {
 
     /// The column for one group.
     pub fn group(&self, g: UserGroup) -> &GroupStats {
+        // pmr-lint: allow(lib-unwrap): the constructor iterates UserGroup::ALL, so every group has a column
         self.groups.iter().find(|s| s.group == g).expect("all four groups are computed")
     }
 }

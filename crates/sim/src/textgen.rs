@@ -123,9 +123,10 @@ fn noise_word<R: Rng + ?Sized>(rng: &mut R, word: &str) -> String {
         _ => {
             // Emphatic lengthening: repeat the last character 2–4 extra times.
             let mut c = chars.clone();
-            let last = *c.last().expect("len >= 2");
-            for _ in 0..rng.gen_range(2..=4) {
-                c.push(last);
+            if let Some(&last) = c.last() {
+                for _ in 0..rng.gen_range(2..=4) {
+                    c.push(last);
+                }
             }
             c.into_iter().collect()
         }

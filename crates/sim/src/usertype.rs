@@ -124,13 +124,10 @@ impl Partition {
         m
     }
 
-    /// The measured ratio of a user.
+    /// The measured ratio of a user. Returns 0 for a user outside the
+    /// partitioned corpus (a caller bug, but not worth a panic).
     pub fn ratio_of(&self, u: UserId) -> f64 {
-        self.ratios
-            .iter()
-            .find(|r| r.user == u)
-            .map(|r| r.ratio)
-            .expect("user belongs to the partitioned corpus")
+        self.ratios.iter().find(|r| r.user == u).map(|r| r.ratio).unwrap_or(0.0)
     }
 }
 
@@ -141,17 +138,11 @@ pub fn partition_users(corpus: &Corpus) -> Partition {
         .evaluated_user_ids()
         .map(|u| PostingRatio { user: u, ratio: corpus.posting_ratio(u) })
         .collect();
-    ratios.sort_by(|a, b| {
-        a.ratio.partial_cmp(&b.ratio).expect("ratios are finite").then(a.user.cmp(&b.user))
-    });
+    ratios.sort_by(|a, b| a.ratio.total_cmp(&b.ratio).then(a.user.cmp(&b.user)));
     let is: Vec<UserId> = ratios.iter().take(20).map(|r| r.user).collect();
     let mut remaining: Vec<PostingRatio> = ratios.iter().skip(20).copied().collect();
     remaining.sort_by(|a, b| {
-        (a.ratio - 1.0)
-            .abs()
-            .partial_cmp(&(b.ratio - 1.0).abs())
-            .expect("ratios are finite")
-            .then(a.user.cmp(&b.user))
+        (a.ratio - 1.0).abs().total_cmp(&(b.ratio - 1.0).abs()).then(a.user.cmp(&b.user))
     });
     let bu: Vec<UserId> = remaining.iter().take(20).map(|r| r.user).collect();
     let mut ip = Vec::new();

@@ -176,17 +176,13 @@ fn latin_language(text: &str) -> Language {
             bump(&mut scores, Language::English, PLAIN_ASCII_WEIGHT);
         }
     }
-    let best = scores
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
-        .expect("score table is non-empty");
-    if best.1 > 0.0 {
-        best.0
-    } else {
-        // Latin script with no profile hits: default to English, the
-        // overwhelmingly dominant language of the corpus (82.7% in Table 3).
-        Language::English
+    let best = scores.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1));
+    match best {
+        Some((lang, score)) if score > 0.0 => lang,
+        // Latin script with no profile hits (or an empty score table):
+        // default to English, the overwhelmingly dominant language of the
+        // corpus (82.7% in Table 3).
+        _ => Language::English,
     }
 }
 

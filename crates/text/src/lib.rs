@@ -25,6 +25,9 @@
 //! performed anywhere: the paper's corpus is multilingual (challenge C3) and
 //! its methodology is deliberately language-agnostic.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod clean;
 pub mod emoticon;
 pub mod lang;

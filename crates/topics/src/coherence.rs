@@ -54,7 +54,7 @@ pub fn umass_coherence(corpus: &TopicCorpus, top_words: &[TermId]) -> f64 {
 /// The `k` most probable words of a topic row of φ.
 pub fn top_words(phi_row: &[f32], k: usize) -> Vec<TermId> {
     let mut idx: Vec<usize> = (0..phi_row.len()).collect();
-    idx.sort_by(|&a, &b| phi_row[b].partial_cmp(&phi_row[a]).expect("finite"));
+    idx.sort_by(|&a, &b| phi_row[b].total_cmp(&phi_row[a]));
     idx.into_iter().take(k).map(|i| i as TermId).collect()
 }
 

@@ -163,12 +163,7 @@ impl DmmModel {
                 s
             })
             .collect();
-        scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("at least one cluster")
+        scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
     }
 }
 

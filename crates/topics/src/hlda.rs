@@ -172,6 +172,7 @@ impl<'a> Sampler<'a> {
         let path = self.paths[d].clone();
         for (i, &w) in self.corpus.docs[d].iter().enumerate() {
             let node = path[self.levels_z[d][i]];
+            // pmr-lint: allow(lib-unwrap): attach/detach are strictly paired; a missing count means corrupted sampler state, which must crash rather than silently skew the posterior
             let c = self.nodes[node].counts.get_mut(&w).expect("count was added at attach");
             *c -= 1;
             if *c == 0 {
@@ -308,6 +309,7 @@ impl<'a> Sampler<'a> {
             // Remove token.
             n_dl[old] -= 1;
             let node = path[old];
+            // pmr-lint: allow(lib-unwrap): the token was counted when its level was assigned; absence means corrupted sampler state, which must crash loudly
             let c = self.nodes[node].counts.get_mut(&w).expect("token present");
             *c -= 1;
             if *c == 0 {
@@ -397,6 +399,7 @@ impl HldaModel {
         let mut out = Vec::new();
         let mut stack = vec![vec![0usize]];
         while let Some(p) = stack.pop() {
+            // pmr-lint: allow(lib-unwrap): the stack is seeded with vec![0] and only ever grows paths by one node
             let last = *p.last().expect("paths are never empty");
             if p.len() == self.levels {
                 out.push(p);

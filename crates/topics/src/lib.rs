@@ -26,6 +26,9 @@
 //! compared to document models with cosine similarity (§3.2, "Using Topic
 //! Models").
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod atm;
 pub mod btm;
 pub mod coherence;

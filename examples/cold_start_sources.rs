@@ -17,7 +17,8 @@ use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
 
 fn main() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let runner = ExperimentRunner::new(&prepared);
     let opts = RunnerOptions::default();
 

@@ -18,7 +18,8 @@ use pmr::text::token_ngrams;
 
 fn main() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 33));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
 
     let user = prepared.split.users().next().expect("split users exist");
     let already: std::collections::HashSet<UserId> =

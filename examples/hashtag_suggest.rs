@@ -21,7 +21,8 @@ use pmr::text::token_ngrams;
 
 fn main() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 21));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
 
     // Pick a user whose test positives carry hashtags.
     let user = prepared

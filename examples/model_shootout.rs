@@ -18,7 +18,8 @@ use pmr::topics::PoolingScheme;
 
 fn main() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let runner = ExperimentRunner::new(&prepared);
     let opts = RunnerOptions::default();
 

@@ -32,7 +32,8 @@ fn main() {
     // 2. Preprocess (tokenize, squeeze, stop-filter) and split each user's
     //    timeline: the 20% most recent retweets become the positive test
     //    documents, with 4 sampled negatives each.
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     println!("users with a test set: {}", prepared.split.len());
 
     // 3. Token n-gram graphs built from the user's retweets (source R).

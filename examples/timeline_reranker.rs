@@ -21,7 +21,8 @@ use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
 
 fn main() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 7));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let partition = partition_users(&prepared.corpus);
 
     // An information seeker with a valid test set.

@@ -15,7 +15,8 @@ use pmr::topics::{BtmConfig, BtmModel, LdaConfig, LdaModel, PoolingScheme, Topic
 fn main() {
     let sim_config = SimConfig::preset(ScalePreset::Smoke, 11);
     let corpus = generate_corpus(&sim_config);
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
 
     // Training tweets of all users (everything before the splits), pooled
     // by user — the configuration the paper finds best for most topic

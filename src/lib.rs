@@ -15,12 +15,16 @@
 //! use pmr::core::{PreparedCorpus, SplitConfig};
 //!
 //! let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 1));
-//! let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+//! let prepared = PreparedCorpus::new(corpus, SplitConfig::default())?;
 //! assert!(prepared.split.len() > 0);
+//! # Ok::<(), pmr::core::PmrError>(())
 //! ```
 //!
 //! See the `examples/` directory for end-to-end scenarios and `pmr-bench`
 //! for the binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 /// Text substrate: tokenization, n-grams, vocabulary, language detection.
 pub use pmr_text as text;

@@ -14,7 +14,8 @@ use pmr::sim::{generate_corpus, ScalePreset, SimConfig, Table2};
 fn default_scale_corpus_is_fully_evaluable() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Default, 42));
     assert!(corpus.len() > 20_000, "default corpus too small: {}", corpus.len());
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     // Every one of the 60 users must have a valid test set at this scale.
     assert_eq!(prepared.split.len(), 60);
     // And the 1:4 class ratio must hold for essentially every user (a
@@ -55,7 +56,8 @@ fn default_scale_partition_mirrors_the_paper() {
 #[test]
 fn default_scale_source_and_user_type_orderings() {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Default, 42));
-    let prepared = PreparedCorpus::new(corpus, SplitConfig::default());
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let runner = ExperimentRunner::new(&prepared);
     let opts = RunnerOptions {
         scoring: ScoringOptions { iteration_scale: 0.02, infer_iterations: 8, seed: 13 },

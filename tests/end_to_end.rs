@@ -13,7 +13,7 @@ use pmr::topics::PoolingScheme;
 
 fn prepared(seed: u64) -> PreparedCorpus {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, seed));
-    PreparedCorpus::new(corpus, SplitConfig::default())
+    PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed")
 }
 
 fn quick_opts() -> RunnerOptions {

@@ -12,7 +12,7 @@ use pmr::text::token_ngrams;
 
 fn setup() -> PreparedCorpus {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
-    PreparedCorpus::new(corpus, SplitConfig::default())
+    PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed")
 }
 
 /// Streaming the training retweets through the online bag model yields a

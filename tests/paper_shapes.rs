@@ -15,7 +15,7 @@ use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
 
 fn prepared() -> PreparedCorpus {
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 42));
-    PreparedCorpus::new(corpus, SplitConfig::default())
+    PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed")
 }
 
 fn opts() -> RunnerOptions {
