@@ -17,7 +17,9 @@ use pmr_core::ModelFamily;
 
 fn main() {
     let opts = HarnessOptions::from_env();
+    opts.install_observability();
     let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
+    opts.finish_observability();
 
     println!("Figure 7(i): Training time (TTime) per model — min / avg / max\n");
     println!("{:<6} {:>12} {:>12} {:>12}", "Model", "min", "avg", "max");

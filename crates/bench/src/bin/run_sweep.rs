@@ -17,13 +17,21 @@
 //! are byte-identical for every N because results are collected in
 //! canonical (source, configuration) order and all randomness is seeded
 //! per (user, document, configuration).
+//!
+//! `--journal PATH` writes a JSONL event journal and `--metrics-out PATH` a
+//! metrics summary (counters, gauges, duration histograms) for the run —
+//! both diagnostic artifacts, excluded from determinism comparisons. With
+//! neither flag, observability stays uninstalled and the sweep output is
+//! byte-identical to an uninstrumented build.
 
 use pmr_bench::{HarnessOptions, SweepCache};
 use pmr_sim::usertype::UserGroup;
 
 fn main() {
     let opts = HarnessOptions::from_env();
+    opts.install_observability();
     let cache = SweepCache::load_or_run(&opts).expect("sweep failed");
+    opts.finish_observability();
     println!(
         "sweep complete: {} measurements at scale {} (seed {}, iter-scale {})",
         cache.sweep.results.len(),

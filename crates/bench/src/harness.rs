@@ -88,6 +88,10 @@ pub struct HarnessOptions {
     pub group: Option<UserGroup>,
     /// Sweep worker threads (defaults to the available parallelism).
     pub jobs: usize,
+    /// JSONL event journal path (`--journal`); `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Metrics summary path (`--metrics-out`); `None` disables the summary.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -101,6 +105,8 @@ impl Default for HarnessOptions {
             out_dir: PathBuf::from("results"),
             group: None,
             jobs: executor::default_jobs(),
+            journal: None,
+            metrics_out: None,
         }
     }
 }
@@ -168,6 +174,10 @@ impl HarnessOptions {
                         .filter(|&n: &usize| n >= 1)
                         .unwrap_or_else(|| usage("bad jobs (want an integer >= 1)"));
                 }
+                "--journal" => opts.journal = Some(PathBuf::from(value("--journal"))),
+                "--metrics-out" => {
+                    opts.metrics_out = Some(PathBuf::from(value("--metrics-out")));
+                }
                 "--help" | "-h" => usage("help requested"),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -234,8 +244,59 @@ impl HarnessOptions {
     /// corpus violates a structural invariant — a simulator bug, not a
     /// configuration problem.
     pub fn prepare_corpus(&self) -> PmrResult<PreparedCorpus> {
+        let _span = pmr_obs::span("corpus_prep");
         let corpus = generate_corpus(&self.sim_config());
         PreparedCorpus::new(corpus, SplitConfig::default())
+    }
+
+    /// Install the global observability recorder when `--journal` or
+    /// `--metrics-out` asks for it. With neither flag this is a no-op: no
+    /// recorder is installed, every instrumentation site stays a single
+    /// atomic load, and the sweep's output is byte-identical to an
+    /// uninstrumented build. Returns whether a recorder was installed.
+    pub fn install_observability(&self) -> bool {
+        if self.journal.is_none() && self.metrics_out.is_none() {
+            return false;
+        }
+        let mut recorder = pmr_obs::Recorder::monotonic();
+        if let Some(path) = &self.journal {
+            match pmr_obs::Journal::create(path) {
+                Ok(journal) => {
+                    eprintln!("journaling events to {}", path.display());
+                    recorder = recorder.with_journal(journal);
+                }
+                Err(e) => eprintln!("could not create journal {}: {e}", path.display()),
+            }
+        }
+        pmr_obs::install(recorder);
+        true
+    }
+
+    /// Write the `--metrics-out` summary (if requested) and tear the
+    /// recorder down, flushing the journal. Safe to call without a prior
+    /// [`Self::install_observability`].
+    pub fn finish_observability(&self) {
+        if let Some(path) = &self.metrics_out {
+            if let Some(snapshot) = pmr_obs::snapshot() {
+                match serde_json::to_string_pretty(&snapshot) {
+                    Ok(json) => {
+                        if let Some(dir) = path.parent() {
+                            if !dir.as_os_str().is_empty() {
+                                let _ = std::fs::create_dir_all(dir);
+                            }
+                        }
+                        match std::fs::write(path, json) {
+                            Ok(()) => eprintln!("wrote metrics summary to {}", path.display()),
+                            Err(e) => {
+                                eprintln!("could not write metrics {}: {e}", path.display());
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("could not serialize metrics: {e}"),
+                }
+            }
+        }
+        pmr_obs::uninstall();
     }
 }
 
@@ -245,9 +306,13 @@ fn usage(msg: &str) -> ! {
         "usage: <bin> [--scale smoke|default|full] [--seed N] [--iter-scale F]\n\
          \x20      [--families TN,CN,...] [--sources all|figures|R,T,...]\n\
          \x20      [--out DIR] [--group all|is|bu|ip] [--jobs N]\n\
+         \x20      [--journal PATH] [--metrics-out PATH]\n\
          \n\
          --jobs N fans the sweep across N worker threads (default: all\n\
-         cores); results are identical for every N."
+         cores); results are identical for every N.\n\
+         --journal PATH writes a JSONL event journal (diagnostic only;\n\
+         excluded from determinism comparisons). --metrics-out PATH writes\n\
+         a metrics summary (counters, gauges, duration histograms)."
     );
     std::process::exit(2);
 }
@@ -314,7 +379,11 @@ impl SweepCache {
         let bytes = serde_json::to_vec(&cache)
             .map_err(|e| PmrError::Serialize { detail: e.to_string() })?;
         match std::fs::write(&path, bytes) {
-            Ok(()) => eprintln!("cached sweep at {}", path.display()),
+            Ok(()) => {
+                eprintln!("cached sweep at {}", path.display());
+                pmr_obs::counter_add("sweep_cache.stored", 1);
+                pmr_obs::event("cache", "stored", &[("path", path.display().to_string().into())]);
+            }
             Err(e) => eprintln!("could not cache sweep: {e}"),
         }
         Ok(cache)
@@ -326,24 +395,42 @@ impl SweepCache {
     /// fields) fail to parse and are discarded.
     pub fn load_if_valid(opts: &HarnessOptions) -> Option<SweepCache> {
         let path = opts.sweep_path();
-        let bytes = std::fs::read(&path).ok()?;
+        let shown = path.display().to_string();
+        let Ok(bytes) = std::fs::read(&path) else {
+            pmr_obs::counter_add("sweep_cache.miss", 1);
+            pmr_obs::event("cache", "miss", &[("path", shown.as_str().into())]);
+            return None;
+        };
         match serde_json::from_slice::<SweepCache>(&bytes) {
             Ok(cache) => match cache.matches(opts) {
                 Ok(()) => {
-                    eprintln!("loaded cached sweep from {}", path.display());
+                    eprintln!("loaded cached sweep from {shown}");
+                    pmr_obs::counter_add("sweep_cache.hit", 1);
+                    pmr_obs::event("cache", "hit", &[("path", shown.as_str().into())]);
                     Some(cache)
                 }
                 Err(why) => {
                     eprintln!(
-                        "cached sweep {} was produced under different options \
-                         ({why}); re-running",
-                        path.display()
+                        "cached sweep {shown} was produced under different options \
+                         ({why}); re-running"
+                    );
+                    pmr_obs::counter_add("sweep_cache.invalidated", 1);
+                    pmr_obs::event(
+                        "cache",
+                        "invalidated",
+                        &[("path", shown.as_str().into()), ("why", why.as_str().into())],
                     );
                     None
                 }
             },
             Err(e) => {
-                eprintln!("ignoring unreadable cache {}: {e}", path.display());
+                eprintln!("ignoring unreadable cache {shown}: {e}");
+                pmr_obs::counter_add("sweep_cache.unreadable", 1);
+                pmr_obs::event(
+                    "cache",
+                    "unreadable",
+                    &[("path", shown.as_str().into()), ("error", e.to_string().into())],
+                );
                 None
             }
         }
@@ -410,6 +497,8 @@ impl SweepCache {
             .collect();
         let total = tasks.len();
         let jobs = opts.jobs.clamp(1, total.max(1));
+        let _span = pmr_obs::span("sweep");
+        pmr_obs::counter_add("sweep.runs", total as u64);
         eprintln!(
             "sweep: {} configs × {} sources = {total} runs at scale {} \
              (iter-scale {}, jobs {jobs})",

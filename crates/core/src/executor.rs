@@ -36,8 +36,8 @@
 //! previous hint on drop.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
@@ -90,14 +90,23 @@ pub struct Progress {
     total: usize,
     every: usize,
     done: AtomicUsize,
+    printed: AtomicBool,
+    finished: AtomicBool,
     started: Instant,
 }
 
 impl Progress {
     /// A counter over `total` tasks reporting every `every` ticks.
     pub fn new(total: usize, every: usize) -> Progress {
-        // pmr-lint: allow(wall-clock): feeds the stderr progress line only, never a result artifact
-        Progress { total, every: every.max(1), done: AtomicUsize::new(0), started: Instant::now() }
+        Progress {
+            total,
+            every: every.max(1),
+            done: AtomicUsize::new(0),
+            printed: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            // pmr-lint: allow(wall-clock): feeds the stderr progress line only, never a result artifact
+            started: Instant::now(),
+        }
     }
 
     /// Record one completed task; prints a carriage-return status line at
@@ -105,6 +114,7 @@ impl Progress {
     pub fn tick(&self) -> usize {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if done.is_multiple_of(self.every) || done == self.total {
+            self.printed.store(true, Ordering::Relaxed);
             eprint!(
                 "\r  {done}/{} runs ({:.0}s elapsed)   ",
                 self.total,
@@ -120,9 +130,22 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
-    /// Terminate the carriage-return status line.
+    /// Terminate the carriage-return status line. Idempotent, and a no-op
+    /// when no status line was ever printed — a zero-task or
+    /// silent-interval sweep must not emit a stray blank line.
     pub fn finish(&self) {
-        eprintln!();
+        if self.printed.load(Ordering::Relaxed) && !self.finished.swap(true, Ordering::Relaxed) {
+            eprintln!();
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
+
+impl Drop for Progress {
+    /// Terminate the status line even when the sweep unwinds mid-run, so a
+    /// panic message never lands on the tail of a carriage-return line.
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -142,8 +165,26 @@ where
 {
     let n = tasks.len();
     let jobs = jobs.clamp(1, n.max(1));
+    // Observability (no-ops unless a recorder is installed): publish the
+    // pool shape and measure per-task / per-worker time on the injected
+    // obs clock, never on wall-clock reads of our own.
+    pmr_obs::gauge_set("executor.jobs", jobs as f64);
+    pmr_obs::gauge_set("executor.inner_threads_hint", inner_threads() as f64);
+    pmr_obs::counter_add("executor.tasks_submitted", n as u64);
+    let pool_start = pmr_obs::now();
     if jobs <= 1 {
-        return tasks.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _timer = pmr_obs::timer("executor.task");
+                f(i, t)
+            })
+            .collect();
+        if let (Some(t0), Some(t1)) = (pool_start, pmr_obs::now()) {
+            pmr_obs::observe_duration("executor.pool_wall", t1.saturating_sub(t0));
+        }
+        return out;
     }
     let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
     let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
@@ -156,16 +197,49 @@ where
     drop(task_tx);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
             let f = &f;
             scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut completed = 0u64;
                 while let Ok((i, task)) = task_rx.recv() {
-                    if result_tx.send((i, f(i, task))).is_err() {
+                    let picked = pmr_obs::now();
+                    if let (Some(t0), Some(t1)) = (pool_start, picked) {
+                        // Every task is enqueued before the pool starts, so
+                        // pickup − pool start is its queue wait.
+                        pmr_obs::observe_duration("executor.queue_wait", t1.saturating_sub(t0));
+                    }
+                    pmr_obs::event(
+                        "executor",
+                        "task_start",
+                        &[("task", i.into()), ("worker", worker.into())],
+                    );
+                    let out = f(i, task);
+                    if let (Some(t1), Some(t2)) = (picked, pmr_obs::now()) {
+                        let took = t2.saturating_sub(t1);
+                        busy += took;
+                        pmr_obs::observe_duration("executor.task", took);
+                    }
+                    completed += 1;
+                    pmr_obs::event(
+                        "executor",
+                        "task_end",
+                        &[("task", i.into()), ("worker", worker.into())],
+                    );
+                    if result_tx.send((i, out)).is_err() {
                         break;
                     }
                 }
+                // Per-worker utilization: busy time over the pool's wall
+                // time (compared offline against `executor.pool_wall`).
+                pmr_obs::observe_duration("executor.worker_busy", busy);
+                pmr_obs::event(
+                    "executor",
+                    "worker_done",
+                    &[("worker", worker.into()), ("tasks", completed.into())],
+                );
             });
         }
         drop(task_rx);
@@ -176,6 +250,9 @@ where
             tagged.push(pair);
         }
     });
+    if let (Some(t0), Some(t1)) = (pool_start, pmr_obs::now()) {
+        pmr_obs::observe_duration("executor.pool_wall", t1.saturating_sub(t0));
+    }
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), n, "every task produces exactly one result");
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -223,8 +300,15 @@ mod tests {
         assert_eq!(p.done(), 100);
     }
 
+    /// Serializes the tests that mutate the global inner-thread hint.
+    fn hint_lock() -> &'static parking_lot::Mutex<()> {
+        static LOCK: std::sync::OnceLock<parking_lot::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| parking_lot::Mutex::new(()))
+    }
+
     #[test]
     fn inner_thread_hint_round_trips() {
+        let _lock = hint_lock().lock();
         set_inner_threads(0);
         let default = inner_threads();
         assert_eq!(default, default_jobs());
@@ -233,5 +317,35 @@ mod tests {
             assert_eq!(inner_threads(), 1);
         }
         assert_eq!(inner_threads(), default);
+    }
+
+    #[test]
+    fn inner_thread_hint_restored_when_worker_panics() {
+        let _lock = hint_lock().lock();
+        set_inner_threads(0);
+        let before = inner_threads();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner_threads_for_jobs(4);
+            run_tasks(vec![0u32, 1, 2, 3, 4, 5], 2, |i, t| {
+                if i == 3 {
+                    panic!("worker closure dies");
+                }
+                t
+            });
+        }));
+        assert!(caught.is_err(), "the worker panic propagates out of the scope");
+        assert_eq!(inner_threads(), before, "the drop guard restores the hint on unwind");
+    }
+
+    #[test]
+    fn progress_finish_is_silent_and_idempotent_without_output() {
+        // A zero-task sweep never prints a status line, so finish() (and
+        // the Drop impl after it) must not emit a stray newline. We cannot
+        // capture stderr here, but we can at least assert this path does
+        // not panic and stays idempotent.
+        let p = Progress::new(0, 25);
+        p.finish();
+        p.finish();
+        drop(p);
     }
 }

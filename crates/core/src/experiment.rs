@@ -173,6 +173,26 @@ impl<'a> ExperimentRunner<'a> {
         let outcome: ScoreOutcome =
             score_configuration(self.prepared, config, source, &users, &opts.scoring);
         let aps: Vec<f64> = outcome.per_user.iter().map(|r| r.ap).collect();
+        // Per-phase observability: fold each run's measured train/test time
+        // into per-family histograms and journal the run (no-ops unless a
+        // recorder is installed).
+        let family = config.family();
+        let train_us = u64::try_from(outcome.train_time.as_micros()).unwrap_or(u64::MAX);
+        let test_us = u64::try_from(outcome.test_time.as_micros()).unwrap_or(u64::MAX);
+        pmr_obs::observe_duration(&format!("run.train.{}", family.name()), outcome.train_time);
+        pmr_obs::observe_duration(&format!("run.test.{}", family.name()), outcome.test_time);
+        pmr_obs::event(
+            "run",
+            "run_complete",
+            &[
+                ("family", family.name().into()),
+                ("source", source.name().into()),
+                ("group", group.name().into()),
+                ("users", users.len().into()),
+                ("train_us", train_us.into()),
+                ("test_us", test_us.into()),
+            ],
+        );
         ConfigResult {
             config: config.clone(),
             family: config.family(),
@@ -217,6 +237,8 @@ impl<'a> ExperimentRunner<'a> {
                 grid.valid_for(source).into_iter().map(move |config| (source, config))
             })
             .collect();
+        let _span = pmr_obs::span("sweep");
+        pmr_obs::counter_add("sweep.runs", tasks.len() as u64);
         let _inner = crate::executor::inner_threads_for_jobs(jobs);
         let results = crate::executor::run_tasks(tasks, jobs, |_, (source, config)| {
             self.run(config, source, group, opts)

@@ -58,8 +58,14 @@ impl OnlineBagModel {
     }
 
     /// Score a candidate document against the current model.
+    ///
+    /// The candidate is unit-normalized exactly like every observed
+    /// document, so both sides of the comparison live at the same scale.
+    /// Cosine is scale-invariant and never noticed, but the Jaccard-family
+    /// measures are magnitude-sensitive: an unnormalized candidate would
+    /// make a document's self-similarity depend on its raw norm.
     pub fn score<S: AsRef<str>>(&self, grams: &[S]) -> f64 {
-        let v = self.vectorizer.transform(grams);
+        let v = self.vectorizer.transform(grams).normalized();
         self.similarity.compare(&self.accumulated, &v)
     }
 
@@ -167,6 +173,48 @@ mod tests {
             "quantum flux capacitor".split_whitespace().map(str::to_owned).collect();
         assert!(model.score(&seen) > model.score(&unseen));
         assert_eq!(model.score(&unseen), 0.0);
+    }
+
+    #[test]
+    fn generalized_jaccard_self_similarity_is_one() {
+        // With the candidate normalized like the observations, one observed
+        // document compared against itself is a comparison of identical
+        // unit vectors — self-similarity 1 for the Jaccard family, which
+        // the old unnormalized-candidate path violated.
+        let vectorizer = BagVectorizer::fit(WeightingScheme::TF, docs().iter());
+        let mut online = OnlineBagModel::new(vectorizer, BagSimilarity::GeneralizedJaccard, 1.0);
+        let d: Vec<String> = "cats purr softly".split_whitespace().map(str::to_owned).collect();
+        online.observe(&d);
+        let s = online.score(&d);
+        assert!((s - 1.0).abs() < 1e-6, "self-similarity must be 1, got {s}");
+    }
+
+    #[test]
+    fn online_graph_converges_to_batch_on_a_static_stream() {
+        let train = docs();
+        let mut online = OnlineGraphModel::new(GraphSimilarity::Value, 2);
+        for d in &train {
+            online.observe(d);
+        }
+        // The batch counterpart: merge every document graph over a shared
+        // space in one pass, exactly as the batch recommender builds its
+        // user graphs.
+        let mut space = GraphSpace::new();
+        let mut batch = NGramGraph::new();
+        for d in &train {
+            let g = space.graph_from_grams(d, 2);
+            batch.merge(&g);
+        }
+        for probe in ["cats purr softly", "rust code compiles", "cats nap rust"] {
+            let grams: Vec<String> = probe.split_whitespace().map(str::to_owned).collect();
+            let got = online.score(&grams);
+            let g = space.graph_from_grams(&grams, 2);
+            let want = GraphSimilarity::Value.compare(&batch, &g);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "online ({got}) and batch ({want}) scores diverge on {probe:?}"
+            );
+        }
     }
 
     #[test]

@@ -30,11 +30,16 @@ impl TimeStats {
 /// Render a duration in the compact style of the paper's log-scale axis.
 pub fn human(d: Duration) -> String {
     let s = d.as_secs_f64();
-    if s < 1e-3 {
-        format!("{:.0}µs", s * 1e6)
-    } else if s < 1.0 {
-        format!("{:.1}ms", s * 1e3)
-    } else if s < 120.0 {
+    let us = s * 1e6;
+    let ms = s * 1e3;
+    // Unit choice happens *after* rounding to the printed precision:
+    // 999.7µs would otherwise render as "1000µs" instead of "1.0ms", and
+    // likewise at the ms→s and s→min boundaries.
+    if us.round() < 1000.0 {
+        format!("{us:.0}µs")
+    } else if (ms * 10.0).round() < 10_000.0 {
+        format!("{ms:.1}ms")
+    } else if (s * 100.0).round() < 12_000.0 {
         format!("{s:.2}s")
     } else {
         format!("{:.1}min", s / 60.0)
@@ -66,5 +71,41 @@ mod tests {
         assert_eq!(human(Duration::from_millis(5)), "5.0ms");
         assert_eq!(human(Duration::from_secs(3)), "3.00s");
         assert_eq!(human(Duration::from_secs(600)), "10.0min");
+    }
+
+    #[test]
+    fn human_rolls_over_at_unit_boundaries() {
+        // Values that round up to a threshold must switch units instead of
+        // rendering as "1000µs" / "1000.0ms" / "120.00s".
+        assert_eq!(human(Duration::from_nanos(999_700)), "1.0ms");
+        assert_eq!(human(Duration::from_micros(999_960)), "1.00s");
+        assert_eq!(human(Duration::from_millis(119_996)), "2.0min");
+        // Exact boundaries land in the larger unit.
+        assert_eq!(human(Duration::from_millis(1)), "1.0ms");
+        assert_eq!(human(Duration::from_secs(1)), "1.00s");
+        assert_eq!(human(Duration::from_secs(120)), "2.0min");
+        // Just below the printed precision stays in the smaller unit.
+        assert_eq!(human(Duration::from_nanos(999_400)), "999µs");
+        assert_eq!(human(Duration::from_micros(999_940)), "999.9ms");
+        assert_eq!(human(Duration::from_millis(119_990)), "119.99s");
+    }
+
+    #[test]
+    fn single_element_stats_collapse() {
+        let s = TimeStats::from_durations(&[Duration::from_millis(7)]);
+        assert_eq!(s.min, Duration::from_millis(7));
+        assert_eq!(s.avg, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn large_sums_do_not_overflow() {
+        // ~95 CPU-years per entry: the Duration sum stays exact where a
+        // naive u64-nanosecond accumulator would overflow at ~584 years.
+        let ds = vec![Duration::from_secs(3_000_000_000); 8];
+        let s = TimeStats::from_durations(&ds);
+        assert_eq!(s.min, Duration::from_secs(3_000_000_000));
+        assert_eq!(s.avg, Duration::from_secs(3_000_000_000));
+        assert_eq!(s.max, Duration::from_secs(3_000_000_000));
     }
 }

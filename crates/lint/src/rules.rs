@@ -27,7 +27,7 @@ pub const RULES: [(&str, &str); 7] = [
     (
         "wall-clock",
         "Instant::now/SystemTime::now outside the timing layer (core::timing, \
-         recommender timing blocks, bench binaries)",
+         recommender timing blocks, the obs clock, bench binaries)",
     ),
     ("lib-unwrap", "unwrap()/expect()/panic! in non-test library code"),
     (
@@ -321,10 +321,8 @@ fn region_has_sink(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
             }
             // `.collect::<Vec<...>>()` materializes the nondeterministic
             // order; collecting into another hash/BTree container does not.
-            "collect" if method => {
-                if toks[i..=(i + 5).min(to)].iter().any(|u| u.text == "Vec") {
-                    return Some(i);
-                }
+            "collect" if method && toks[i..=(i + 5).min(to)].iter().any(|u| u.text == "Vec") => {
+                return Some(i);
             }
             _ => {}
         }
@@ -489,11 +487,13 @@ fn check_unseeded_rng(ctx: &FileContext, findings: &mut Vec<Finding>) {
 }
 
 /// Paths where wall-clock reads are sanctioned: the timing layer, the
-/// recommender's timing blocks, and the bench binaries/benches (they only
-/// measure, never feed results).
+/// recommender's timing blocks, the observability layer's production clock
+/// (every other obs timestamp flows through the injected `Clock`), and the
+/// bench binaries/benches (they only measure, never feed results).
 fn wall_clock_allowed(rel_path: &str) -> bool {
     rel_path == "crates/core/src/timing.rs"
         || rel_path == "crates/core/src/recommender.rs"
+        || rel_path == "crates/obs/src/clock.rs"
         || rel_path.starts_with("crates/bench/src/bin/")
         || rel_path.starts_with("crates/bench/benches/")
 }
@@ -640,6 +640,7 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); }";
         assert_eq!(rules_of(&lint_source(LIB, src)), ["wall-clock"]);
         assert!(lint_source("crates/core/src/timing.rs", src).is_empty());
+        assert!(lint_source("crates/obs/src/clock.rs", src).is_empty());
         assert!(lint_source("crates/bench/src/bin/calibrate.rs", src).is_empty());
     }
 

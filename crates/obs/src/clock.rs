@@ -1,0 +1,94 @@
+//! The single injected clock behind every observability timestamp.
+//!
+//! Nothing else in the workspace reads wall-clock time for observability
+//! purposes (`pmr-lint`'s `wall-clock` rule enforces it): the executor, the
+//! experiment runner and the topic trainers all measure through whatever
+//! [`Clock`] the installed recorder carries. Production installs a
+//! [`MonotonicClock`]; tests inject a [`ManualClock`] so journal timestamps
+//! and histogram contents are fully deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonic time source measured from the clock's own epoch.
+///
+/// Returning `Duration` (not a calendar timestamp) keeps every consumer
+/// relative: journal `ts_us` fields are offsets from recorder installation,
+/// never absolute times, so journals from different machines line up.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since the clock's epoch. Must be monotonic.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic time since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> MonotonicClock {
+        // This is the one sanctioned wall-clock read of the observability
+        // layer; pmr-lint allowlists exactly this file for it.
+        MonotonicClock { epoch: std::time::Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A deterministic test clock advanced by hand.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_micros(250));
+        c.advance(Duration::from_micros(250));
+        assert_eq!(c.now(), Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,36 @@
+//! # pmr-obs — structured observability for the sweep pipeline
+//!
+//! A zero-`unsafe`, dependency-light observability layer with three parts:
+//!
+//! - **Hierarchical spans** ([`span`]): scoped guards whose `/`-joined
+//!   per-thread path (`sweep/run` …) names both the journal events and a
+//!   duration histogram.
+//! - **A typed metrics registry** ([`MetricsRegistry`]): counters, gauges
+//!   and duration histograms over fixed log-scale buckets, snapshotted into
+//!   a deterministic, serializable [`MetricsSnapshot`].
+//! - **A per-run JSONL event journal** ([`Journal`]): one JSON object per
+//!   line, enabled by the bench bins' `--journal <path>` flag.
+//!
+//! All timestamps flow through a single injected [`Clock`] so production
+//! code never reads wall-clock time outside the allowlisted
+//! [`MonotonicClock`], and tests drive a [`ManualClock`] by hand.
+//!
+//! Instrumentation sites call the free functions here unconditionally; when
+//! no recorder is installed they cost one relaxed atomic load and emit
+//! nothing, keeping default sweep output byte-identical to an uninstrumented
+//! build.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod journal;
+mod metrics;
+mod recorder;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use journal::{Field, Journal};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS_US};
+pub use recorder::{
+    active, counter_add, event, flush, gauge_set, install, now, observe_duration, snapshot, span,
+    timer, uninstall, Recorder, SpanGuard, TimerGuard,
+};

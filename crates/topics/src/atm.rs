@@ -106,6 +106,7 @@ impl AtmModel {
         let vb = v as f64 * cfg.beta;
         let mut weights = vec![0.0f64; k];
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.atm");
             for (d, doc) in corpus.docs.iter().enumerate() {
                 let a = authors[d] as usize;
                 for (i, &w) in doc.iter().enumerate() {

@@ -95,6 +95,7 @@ impl BtmModel {
         let vb = v as f64 * cfg.beta;
         let mut weights = vec![0.0f64; k];
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.btm");
             for (bi, &(w1, w2)) in all.iter().enumerate() {
                 let old = z[bi];
                 n_z[old] -= 1;

@@ -86,6 +86,7 @@ impl DmmModel {
             .collect();
         let vb = v as f64 * cfg.beta;
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.dmm");
             for (d, doc) in corpus.docs.iter().enumerate() {
                 let old = z[d];
                 m_k[old] -= 1;

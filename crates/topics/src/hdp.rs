@@ -137,6 +137,7 @@ impl HdpModel {
             .collect();
         let ve = v as f64 * cfg.eta;
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.hdp");
             for d in 0..corpus.len() {
                 #[allow(clippy::needless_range_loop)] // `i` indexes both the doc and `z`
                 for i in 0..corpus.docs[d].len() {

@@ -341,6 +341,7 @@ impl HldaModel {
         assert!(cfg.levels >= 2, "a hierarchy needs at least two levels");
         let mut s = Sampler::new(cfg, corpus);
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.hlda");
             s.sweep();
         }
         let live: Vec<usize> =

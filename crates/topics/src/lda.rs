@@ -100,6 +100,7 @@ impl LdaModel {
         let vb = v as f64 * cfg.beta;
         let mut weights = vec![0.0f64; k];
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.lda");
             for (d, doc) in corpus.docs.iter().enumerate() {
                 for (i, &w) in doc.iter().enumerate() {
                     let old = z[d][i];

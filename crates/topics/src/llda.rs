@@ -112,6 +112,7 @@ impl LldaModel {
             .collect();
         let vb = v as f64 * cfg.beta;
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("gibbs_iter.llda");
             for (d, doc) in corpus.docs.iter().enumerate() {
                 let a = &allowed[d];
                 let mut weights = vec![0.0f64; a.len()];

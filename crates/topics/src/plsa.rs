@@ -86,6 +86,7 @@ impl PlsaModel {
             .collect();
         let mut posterior = vec![0.0f32; k];
         for _ in 0..cfg.iterations {
+            let _iter = pmr_obs::timer("em_iter.plsa");
             let mut phi_acc = vec![vec![0.0f32; v]; k];
             let mut theta_acc = vec![vec![0.0f32; k]; corpus.len()];
             for (d, counts) in doc_counts.iter().enumerate() {
