@@ -12,6 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use pmr_text::vocab::TermId;
+
 use crate::vector::SparseVector;
 
 /// Rocchio mixing parameters with `alpha + beta = 1.0`.
@@ -63,13 +65,7 @@ impl AggregationFunction {
     /// content only).
     pub fn aggregate(self, positives: &[SparseVector], negatives: &[SparseVector]) -> SparseVector {
         match self {
-            AggregationFunction::Sum => {
-                let mut acc = SparseVector::new();
-                for v in positives {
-                    acc.add_scaled(v, 1.0);
-                }
-                acc
-            }
+            AggregationFunction::Sum => dense_accumulate(positives, |_| 1.0),
             AggregationFunction::Centroid => centroid(positives),
             AggregationFunction::Rocchio(p) => {
                 let mut acc = SparseVector::new();
@@ -94,15 +90,52 @@ fn centroid_unnormalized_count(docs: &[SparseVector]) -> SparseVector {
     if docs.is_empty() {
         return SparseVector::new();
     }
-    let mut acc = SparseVector::new();
     let inv = 1.0 / docs.len() as f32;
-    for v in docs {
+    dense_accumulate(docs, |v| {
         let n = v.norm();
         if n > 0.0 {
-            acc.add_scaled(v, inv / n);
+            inv / n
+        } else {
+            0.0
+        }
+    })
+}
+
+/// `Σ_v factor(v) · v` over a dense accumulator: O(total nnz) instead of
+/// the O(|D| · |model|) of repeated sparse merges.
+///
+/// Bit-identical to folding with [`SparseVector::add_scaled`]: each
+/// dimension receives the same `w · factor` contributions in the same
+/// document order, and exact zeros are dropped from the result just as
+/// every intermediate merge dropped them (re-adding to a dropped ±0.0 and
+/// pushing a fresh value are the same f32). A `factor` of exactly `0.0`
+/// skips the document, mirroring `add_scaled`'s guard.
+fn dense_accumulate<F: Fn(&SparseVector) -> f32>(docs: &[SparseVector], factor: F) -> SparseVector {
+    let mut acc: Vec<f32> = Vec::new();
+    let mut seen: Vec<bool> = Vec::new();
+    let mut touched: Vec<TermId> = Vec::new();
+    for v in docs {
+        let s = factor(v);
+        if s == 0.0 {
+            continue;
+        }
+        for &(d, w) in v.entries() {
+            let di = d as usize;
+            if di >= acc.len() {
+                acc.resize(di + 1, 0.0);
+                seen.resize(di + 1, false);
+            }
+            if !seen[di] {
+                seen[di] = true;
+                touched.push(d);
+            }
+            acc[di] += w * s;
         }
     }
-    acc
+    touched.sort_unstable();
+    SparseVector::from_pairs(
+        touched.into_iter().map(|d| (d, acc[d as usize])).filter(|&(_, w)| w != 0.0).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -167,5 +200,83 @@ mod tests {
     fn zero_documents_count_toward_the_denominator() {
         let out = AggregationFunction::Centroid.aggregate(&[v(&[(0, 1.0)]), v(&[])], &[]);
         assert!((out.get(0) - 0.5).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-optimization implementation: fold documents into the model
+    /// with repeated sparse merges. Kept as the reference the dense
+    /// accumulator must match bit-for-bit.
+    fn aggregate_by_merging(
+        f: AggregationFunction,
+        positives: &[SparseVector],
+        negatives: &[SparseVector],
+    ) -> SparseVector {
+        fn merge_centroid(docs: &[SparseVector]) -> SparseVector {
+            if docs.is_empty() {
+                return SparseVector::new();
+            }
+            let mut acc = SparseVector::new();
+            let inv = 1.0 / docs.len() as f32;
+            for v in docs {
+                let n = v.norm();
+                if n > 0.0 {
+                    acc.add_scaled(v, inv / n);
+                }
+            }
+            acc
+        }
+        match f {
+            AggregationFunction::Sum => {
+                let mut acc = SparseVector::new();
+                for v in positives {
+                    acc.add_scaled(v, 1.0);
+                }
+                acc
+            }
+            AggregationFunction::Centroid => merge_centroid(positives),
+            AggregationFunction::Rocchio(p) => {
+                let mut acc = SparseVector::new();
+                acc.add_scaled(&merge_centroid(positives), p.alpha);
+                acc.add_scaled(&merge_centroid(negatives), -p.beta);
+                acc
+            }
+        }
+    }
+
+    /// Documents over a small dimension range so overlap (and, with
+    /// negative TF-IDF-style weights, mid-fold cancellation) happens.
+    fn arb_docs() -> impl Strategy<Value = Vec<SparseVector>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..30, -4.0f32..4.0), 0..12)
+                .prop_map(SparseVector::from_pairs),
+            0..10,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn dense_accumulation_equals_merge_fold_bit_for_bit(
+            positives in arb_docs(),
+            negatives in arb_docs(),
+        ) {
+            for f in [
+                AggregationFunction::Sum,
+                AggregationFunction::Centroid,
+                AggregationFunction::Rocchio(RocchioParams::PAPER),
+            ] {
+                let dense = f.aggregate(&positives, &negatives);
+                let merged = aggregate_by_merging(f, &positives, &negatives);
+                prop_assert_eq!(dense.entries().len(), merged.entries().len());
+                for (&(da, wa), &(db, wb)) in dense.entries().iter().zip(merged.entries()) {
+                    prop_assert_eq!(da, db);
+                    prop_assert_eq!(wa.to_bits(), wb.to_bits());
+                }
+            }
+        }
     }
 }

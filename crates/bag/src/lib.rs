@@ -16,16 +16,24 @@
 //! [`similarity`]) exactly as defined in §3.2, including the validity rules
 //! of §4 (JS only with BF, GJS only with TF/TF-IDF, BF only with sum,
 //! Rocchio only with cosine; CN is never combined with TF-IDF).
+//!
+//! Two hot-path variants back the sweep harness without changing any
+//! result bit: [`weighting::IndexedVectorizer`] fits over pre-interned
+//! gram ids instead of strings, and [`kernel::ScoringKernel`] pre-expands
+//! a user model once and scores each document in O(nnz(doc)) for cosine
+//! and Jaccard (the merge-join in [`similarity`] stays as the reference).
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod aggregate;
+pub mod kernel;
 pub mod similarity;
 pub mod vector;
 pub mod weighting;
 
 pub use aggregate::{AggregationFunction, RocchioParams};
+pub use kernel::ScoringKernel;
 pub use similarity::BagSimilarity;
 pub use vector::SparseVector;
-pub use weighting::{BagVectorizer, WeightingScheme};
+pub use weighting::{BagVectorizer, IndexedVectorizer, WeightingScheme};

@@ -132,6 +132,129 @@ impl BagVectorizer {
     }
 }
 
+/// A corpus-fitted vectorizer over *pre-interned* gram ids.
+///
+/// Functionally identical to [`BagVectorizer`], but fitted on documents
+/// that are already sequences of global `TermId`s (from a shared gram
+/// table) instead of strings. Fitting assigns dense *local* ids in
+/// first-seen order over the documents — exactly the order a string
+/// interner walking the same documents would produce — so the resulting
+/// vectors are bit-for-bit identical to [`BagVectorizer`]'s while skipping
+/// every string hash, comparison and allocation on the sweep's hot path.
+#[derive(Debug, Clone)]
+pub struct IndexedVectorizer {
+    weighting: WeightingScheme,
+    /// Global gram id → dense local dimension, in first-seen order;
+    /// indexed by global id, [`UNSEEN`] marks grams not in the fit. A flat
+    /// array (global vocabularies are dense and bounded by the shared gram
+    /// table) turns every fit/transform lookup into an O(1) index.
+    local: Vec<TermId>,
+    /// Document frequency per local dimension.
+    df: Vec<u32>,
+    /// Number of fitted documents `|D|`.
+    num_docs: usize,
+}
+
+/// Sentinel in [`IndexedVectorizer::local`] for global ids outside the fit.
+const UNSEEN: TermId = TermId::MAX;
+
+impl IndexedVectorizer {
+    /// Fit on pre-interned training documents.
+    pub fn fit<D>(weighting: WeightingScheme, docs: D) -> Self
+    where
+        D: IntoIterator,
+        D::Item: AsRef<[TermId]>,
+    {
+        let mut local: Vec<TermId> = Vec::new();
+        let mut df: Vec<u32> = Vec::new();
+        let mut num_docs = 0usize;
+        let mut seen_in_doc: Vec<usize> = Vec::new(); // doc-stamp per dim
+        for doc in docs {
+            num_docs += 1;
+            for &gram in doc.as_ref() {
+                let g = gram as usize;
+                if g >= local.len() {
+                    local.resize(g + 1, UNSEEN);
+                }
+                let id = if local[g] == UNSEEN {
+                    let next = df.len() as TermId;
+                    local[g] = next;
+                    df.push(0);
+                    seen_in_doc.push(0);
+                    next
+                } else {
+                    local[g]
+                };
+                if seen_in_doc[id as usize] != num_docs {
+                    seen_in_doc[id as usize] = num_docs;
+                    df[id as usize] += 1;
+                }
+            }
+        }
+        IndexedVectorizer { weighting, local, df, num_docs }
+    }
+
+    /// The fitted weighting scheme.
+    pub fn weighting(&self) -> WeightingScheme {
+        self.weighting
+    }
+
+    /// Number of fitted dimensions (distinct grams).
+    pub fn dimensionality(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The inverse document frequency of a fitted local dimension.
+    pub fn idf(&self, id: TermId) -> f32 {
+        ((self.num_docs as f64) / (self.df[id as usize] as f64 + 1.0)).ln() as f32
+    }
+
+    /// Transform a pre-interned document into a sparse vector over the
+    /// fitted local dimensions; grams unseen at fit time are dropped.
+    ///
+    /// Occurrences are counted by sorting the document's local ids and
+    /// run-length encoding — no hashing. The counts (and hence weights)
+    /// are identical to the hash-counted string path; only the order in
+    /// which pairs reach the final sort differs, and that order is erased.
+    pub fn transform(&self, grams: &[TermId]) -> SparseVector {
+        let n_d = grams.len();
+        if n_d == 0 {
+            return SparseVector::new();
+        }
+        let mut ids: Vec<TermId> = Vec::with_capacity(n_d);
+        for &gram in grams {
+            if let Some(&id) = self.local.get(gram as usize) {
+                if id != UNSEEN {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        let mut pairs: Vec<(TermId, f32)> = Vec::with_capacity(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            let id = ids[i];
+            let mut f = 0u32;
+            while i < ids.len() && ids[i] == id {
+                f += 1;
+                i += 1;
+            }
+            let w = match self.weighting {
+                WeightingScheme::BF => 1.0,
+                WeightingScheme::TF => f as f32 / n_d as f32,
+                WeightingScheme::TFIDF => (f as f32 / n_d as f32) * self.idf(id),
+            };
+            pairs.push((id, w));
+        }
+        SparseVector::from_pairs(pairs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +334,85 @@ mod tests {
         assert_eq!(WeightingScheme::BF.name(), "BF");
         assert_eq!(WeightingScheme::TF.name(), "TF");
         assert_eq!(WeightingScheme::TFIDF.name(), "TF-IDF");
+    }
+
+    /// Intern string docs through a shared global vocabulary, the way the
+    /// sweep's feature cache does.
+    fn interned(docs: &[Vec<String>]) -> Vec<Vec<TermId>> {
+        let mut vocab = Vocabulary::new();
+        docs.iter().map(|d| d.iter().map(|g| vocab.intern(g)).collect()).collect()
+    }
+
+    #[test]
+    fn indexed_vectorizer_matches_string_vectorizer_bitwise() {
+        let string_docs = docs();
+        let id_docs = interned(&string_docs);
+        for weighting in [WeightingScheme::BF, WeightingScheme::TF, WeightingScheme::TFIDF] {
+            let by_string = BagVectorizer::fit(weighting, string_docs.iter());
+            let by_id = IndexedVectorizer::fit(weighting, id_docs.iter());
+            assert_eq!(by_string.dimensionality(), by_id.dimensionality());
+            assert_eq!(by_string.num_docs(), by_id.num_docs());
+            for (sd, id) in string_docs.iter().zip(&id_docs) {
+                let a = by_string.transform(sd);
+                let b = by_id.transform(id);
+                assert_eq!(a.entries().len(), b.entries().len());
+                for (&(da, wa), &(db, wb)) in a.entries().iter().zip(b.entries()) {
+                    assert_eq!(da, db, "{weighting:?}: local dimension ids must agree");
+                    assert_eq!(
+                        wa.to_bits(),
+                        wb.to_bits(),
+                        "{weighting:?}: weights must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_vectorizer_drops_unseen_global_ids() {
+        let id_docs = interned(&docs());
+        let v = IndexedVectorizer::fit(WeightingScheme::TF, id_docs.iter());
+        assert!(v.transform(&[900, 901]).is_empty());
+        assert!(v.transform(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Documents over a small alphabet so collisions (shared grams across
+    /// docs) actually happen.
+    fn arb_docs() -> impl Strategy<Value = Vec<Vec<String>>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..12).prop_map(|t| format!("t{t}")), 0..15),
+            0..8,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn indexed_fit_transform_equals_string_path(string_docs in arb_docs(), probe in proptest::collection::vec((0u8..14).prop_map(|t| format!("t{t}")), 0..15)) {
+            let mut vocab = Vocabulary::new();
+            let id_docs: Vec<Vec<TermId>> = string_docs
+                .iter()
+                .map(|d| d.iter().map(|g| vocab.intern(g)).collect())
+                .collect();
+            for weighting in [WeightingScheme::BF, WeightingScheme::TF, WeightingScheme::TFIDF] {
+                let by_string = BagVectorizer::fit(weighting, string_docs.iter());
+                let by_id = IndexedVectorizer::fit(weighting, id_docs.iter());
+                // Probe docs may contain grams unseen at fit time ("t12",
+                // "t13"), exercising the drop path.
+                let probe_ids: Vec<TermId> = probe.iter().map(|g| vocab.intern(g)).collect();
+                let a = by_string.transform(&probe);
+                let b = by_id.transform(&probe_ids);
+                prop_assert_eq!(a.entries().len(), b.entries().len());
+                for (&(da, wa), &(db, wb)) in a.entries().iter().zip(b.entries()) {
+                    prop_assert_eq!(da, db);
+                    prop_assert_eq!(wa.to_bits(), wb.to_bits());
+                }
+            }
+        }
     }
 }

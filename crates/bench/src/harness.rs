@@ -508,6 +508,10 @@ impl SweepCache {
             opts.iteration_scale
         );
         let progress = Progress::new(total, 25);
+        // Build the shared gram tables before fanning out (same tables
+        // either way; this just keeps workers from queueing on the first
+        // build of each key).
+        prepared.prewarm_features(tasks.iter().map(|&(_, config)| config));
         // Keep jobs × inner-threads ≈ n_cpu while the pool is active.
         let _inner = executor::inner_threads_for_jobs(jobs);
         let results = executor::run_tasks(tasks, jobs, |_, (source, config)| {

@@ -214,6 +214,19 @@ impl ModelConfiguration {
         }
     }
 
+    /// The feature-cache key `(gram kind, n)` for the n-gram families
+    /// (bag and graph models); `None` for topic models, which consume the
+    /// token stream directly.
+    pub fn feature_key(&self) -> Option<(crate::features::GramKind, usize)> {
+        match self {
+            ModelConfiguration::Bag { char_grams, n, .. }
+            | ModelConfiguration::Graph { char_grams, n, .. } => {
+                Some((crate::features::GramKind::of(*char_grams), *n))
+            }
+            _ => None,
+        }
+    }
+
     /// The aggregation function, for families that have one (graph models
     /// aggregate with the update operator instead).
     pub fn aggregation(&self) -> Option<AggKind> {

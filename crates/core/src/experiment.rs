@@ -239,6 +239,9 @@ impl<'a> ExperimentRunner<'a> {
             .collect();
         let _span = pmr_obs::span("sweep");
         pmr_obs::counter_add("sweep.runs", tasks.len() as u64);
+        // Build every shared gram table up front so the first worker of
+        // each (kind, n) does not pay the build while its peers wait.
+        self.prepared.prewarm_features(tasks.iter().map(|&(_, config)| config));
         let _inner = crate::executor::inner_threads_for_jobs(jobs);
         let results = crate::executor::run_tasks(tasks, jobs, |_, (source, config)| {
             self.run(config, source, group, opts)

@@ -32,6 +32,7 @@ pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod experiment;
+pub mod features;
 pub mod online;
 pub mod prepare;
 pub mod recommender;
@@ -46,6 +47,7 @@ pub use config::{AggKind, ConfigGrid, ModelConfiguration, ModelFamily};
 pub use error::{PmrError, PmrResult};
 pub use eval::{average_precision, map_deviation, mean_average_precision};
 pub use experiment::{ExperimentRunner, RunnerOptions, SweepResult};
+pub use features::{FeatureCache, GramKind, GramTable};
 pub use online::{OnlineBagModel, OnlineGraphModel};
 pub use prepare::PreparedCorpus;
 pub use recommender::score_configuration;

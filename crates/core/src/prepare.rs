@@ -12,12 +12,16 @@
 //! lower-cased text, and the Labeled-LDA labeler reads the full token
 //! stream with lexical classes.
 
+use std::sync::Arc;
+
 use pmr_sim::{Corpus, TweetId};
 use pmr_text::token::{Token, TokenKind};
 use pmr_text::vocab::Vocabulary;
-use pmr_text::{StopWords, Tokenizer};
+use pmr_text::{char_ngrams, token_ngrams, StopWords, Tokenizer};
 
+use crate::config::ModelConfiguration;
 use crate::error::PmrResult;
+use crate::features::{FeatureCache, GramKind, GramTable};
 use crate::split::{SplitConfig, TrainTestSplit};
 
 /// A corpus with its split and all per-tweet preprocessing artifacts.
@@ -34,6 +38,9 @@ pub struct PreparedCorpus {
     hashtags: Vec<Vec<String>>,
     /// The fitted stop-word filter.
     stopwords: StopWords,
+    /// Sweep-scoped feature cache (interned gram sequences, lowercased
+    /// texts) — built lazily, shared across configurations and threads.
+    features: FeatureCache,
 }
 
 impl PreparedCorpus {
@@ -82,7 +89,15 @@ impl PreparedCorpus {
                     .collect()
             })
             .collect();
-        Ok(PreparedCorpus { corpus, split, tokens, content, hashtags, stopwords })
+        Ok(PreparedCorpus {
+            corpus,
+            split,
+            tokens,
+            content,
+            hashtags,
+            stopwords,
+            features: FeatureCache::new(),
+        })
     }
 
     /// Stop-filtered token texts of a tweet — the input of all token-based
@@ -110,6 +125,55 @@ impl PreparedCorpus {
     /// The fitted stop-word filter.
     pub fn stopwords(&self) -> &StopWords {
         &self.stopwords
+    }
+
+    /// The sweep-scoped feature cache.
+    pub fn features(&self) -> &FeatureCache {
+        &self.features
+    }
+
+    /// Lowercased raw text of a tweet, computed once per corpus for all
+    /// tweets (the character-gram input; previously re-lowercased on every
+    /// `gramify` call of every configuration).
+    pub fn lowercased_text(&self, id: TweetId) -> &str {
+        &self.lowercased_texts()[id.index()]
+    }
+
+    fn lowercased_texts(&self) -> &[String] {
+        self.features
+            .lowercased(|| self.corpus.tweets.iter().map(|t| t.text.to_lowercase()).collect())
+    }
+
+    /// The shared gram table for `(kind, n)`, building it on first demand
+    /// and returning the cached [`Arc`] afterwards.
+    pub fn gram_table(&self, kind: GramKind, n: usize) -> Arc<GramTable> {
+        self.features.table((kind, n), || match kind {
+            GramKind::Token => GramTable::from_docs(
+                kind,
+                n,
+                self.content.iter().map(|tokens| token_ngrams(tokens, n)),
+            ),
+            GramKind::Char => GramTable::from_docs(
+                kind,
+                n,
+                self.lowercased_texts().iter().map(|text| char_ngrams(text, n)),
+            ),
+        })
+    }
+
+    /// Build every gram table the given configurations will need, before
+    /// fanning out to worker threads. Purely an ergonomics/latency win:
+    /// lazily built tables are identical, but prewarming keeps the first
+    /// worker of each key from paying the build while others wait.
+    pub fn prewarm_features<'a, I>(&self, configs: I)
+    where
+        I: IntoIterator<Item = &'a ModelConfiguration>,
+    {
+        let keys: std::collections::BTreeSet<(GramKind, usize)> =
+            configs.into_iter().filter_map(|c| c.feature_key()).collect();
+        for (kind, n) in keys {
+            self.gram_table(kind, n);
+        }
     }
 }
 

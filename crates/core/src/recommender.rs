@@ -23,10 +23,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use pmr_bag::{AggregationFunction, BagVectorizer, RocchioParams, SparseVector};
+use pmr_bag::{AggregationFunction, IndexedVectorizer, RocchioParams, ScoringKernel, SparseVector};
 use pmr_graph::{GraphSpace, NGramGraph};
 use pmr_sim::{TweetId, UserId};
-use pmr_text::{char_ngrams, token_ngrams};
 use pmr_topics::pooling::{pool_indexed, PoolInput};
 use pmr_topics::{
     BtmConfig, BtmModel, HdpConfig, HdpModel, HldaConfig, HldaModel, Labeler, LdaConfig, LdaModel,
@@ -35,6 +34,7 @@ use pmr_topics::{
 
 use crate::config::{AggKind, ModelConfiguration};
 use crate::eval::{average_precision, ScoredDoc};
+use crate::features::GramKind;
 use crate::prepare::PreparedCorpus;
 use crate::source::RepresentationSource;
 
@@ -102,54 +102,61 @@ pub fn score_configuration(
     );
     match config {
         ModelConfiguration::Bag { char_grams, n, weighting, aggregation, similarity } => {
+            // One shared gram table per (kind, n) serves every user of every
+            // configuration; per-user work is reduced to remapping global
+            // gram ids into the user's local vector space.
+            let table = prepared.gram_table(GramKind::of(*char_grams), *n);
             context_scores(prepared, source, users, |train, test, pos_flags| {
-                let gramify = |id: TweetId| -> Vec<String> {
-                    if *char_grams {
-                        char_ngrams(&prepared.raw_text(id).to_lowercase(), *n)
-                    } else {
-                        token_ngrams(prepared.content(id), *n)
+                let t0 = Instant::now();
+                let vectorizer = {
+                    let _t = pmr_obs::timer("bag.fit");
+                    IndexedVectorizer::fit(*weighting, train.iter().map(|&id| table.doc(id)))
+                };
+                let vectors: Vec<SparseVector> = {
+                    let _t = pmr_obs::timer("bag.transform");
+                    train.iter().map(|&id| vectorizer.transform(table.doc(id))).collect()
+                };
+                let user_model = {
+                    let _t = pmr_obs::timer("bag.aggregate");
+                    match aggregation {
+                        AggKind::Sum => AggregationFunction::Sum.aggregate(&vectors, &[]),
+                        AggKind::Centroid => AggregationFunction::Centroid.aggregate(&vectors, &[]),
+                        AggKind::Rocchio => {
+                            // Only Rocchio needs the positive/negative split;
+                            // cloning it for Sum/Centroid was wasted work.
+                            let (pos, neg): (Vec<_>, Vec<_>) =
+                                vectors.iter().zip(pos_flags).partition(|(_, &p)| p);
+                            let positives: Vec<SparseVector> =
+                                pos.into_iter().map(|(v, _)| v.clone()).collect();
+                            let negatives: Vec<SparseVector> =
+                                neg.into_iter().map(|(v, _)| v.clone()).collect();
+                            AggregationFunction::Rocchio(RocchioParams::PAPER)
+                                .aggregate(&positives, &negatives)
+                        }
                     }
                 };
-                let t0 = Instant::now();
-                let train_grams: Vec<Vec<String>> = train.iter().map(|&id| gramify(id)).collect();
-                let vectorizer = BagVectorizer::fit(*weighting, train_grams.iter());
-                let vectors: Vec<SparseVector> =
-                    train_grams.iter().map(|g| vectorizer.transform(g)).collect();
-                let (pos, neg): (Vec<_>, Vec<_>) =
-                    vectors.iter().zip(pos_flags).partition(|(_, &p)| p);
-                let positives: Vec<SparseVector> =
-                    pos.into_iter().map(|(v, _)| v.clone()).collect();
-                let negatives: Vec<SparseVector> =
-                    neg.into_iter().map(|(v, _)| v.clone()).collect();
-                let user_model = match aggregation {
-                    AggKind::Sum => AggregationFunction::Sum.aggregate(&vectors, &[]),
-                    AggKind::Centroid => AggregationFunction::Centroid.aggregate(&vectors, &[]),
-                    AggKind::Rocchio => AggregationFunction::Rocchio(RocchioParams::PAPER)
-                        .aggregate(&positives, &negatives),
+                let kernel = {
+                    let _t = pmr_obs::timer("bag.kernel_build");
+                    ScoringKernel::new(*similarity, &user_model)
                 };
                 let train_time = t0.elapsed();
                 let t1 = Instant::now();
+                let _timer = pmr_obs::timer("kernel.score");
                 let scores: Vec<f64> = test
                     .iter()
-                    .map(|&id| similarity.compare(&user_model, &vectorizer.transform(&gramify(id))))
+                    .map(|&id| kernel.score(&vectorizer.transform(table.doc(id))))
                     .collect();
                 (scores, train_time, t1.elapsed())
             })
         }
         ModelConfiguration::Graph { char_grams, n, similarity } => {
+            let table = prepared.gram_table(GramKind::of(*char_grams), *n);
             context_scores(prepared, source, users, |train, test, _pos_flags| {
-                let gramify = |id: TweetId| -> Vec<String> {
-                    if *char_grams {
-                        char_ngrams(&prepared.raw_text(id).to_lowercase(), *n)
-                    } else {
-                        token_ngrams(prepared.content(id), *n)
-                    }
-                };
                 let t0 = Instant::now();
                 let mut space = GraphSpace::new();
                 let mut user_model = NGramGraph::new();
                 for &id in train {
-                    let g = space.graph_from_grams(&gramify(id), *n);
+                    let g = space.graph_from_grams(&table.doc_terms(id), *n);
                     user_model.merge(&g);
                 }
                 let train_time = t0.elapsed();
@@ -157,7 +164,7 @@ pub fn score_configuration(
                 let scores: Vec<f64> = test
                     .iter()
                     .map(|&id| {
-                        let g = space.graph_from_grams(&gramify(id), *n);
+                        let g = space.graph_from_grams(&table.doc_terms(id), *n);
                         similarity.compare(&user_model, &g)
                     })
                     .collect();

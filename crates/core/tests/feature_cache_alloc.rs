@@ -1,0 +1,76 @@
+//! The feature cache must make repeated feature access allocation-free:
+//! lowercasing and gram extraction happen once per corpus, and every later
+//! lookup is a borrow. Guarded with a counting global allocator — the old
+//! hot path re-ran `raw_text(id).to_lowercase()` and rebuilt `Vec<String>`
+//! grams on every call, which this test would catch immediately.
+//!
+//! This is an integration test (its own crate), so the library's
+//! `#![forbid(unsafe_code)]` does not apply to the allocator shim below.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pmr_core::{GramKind, PreparedCorpus, SplitConfig};
+use pmr_sim::{generate_corpus, ScalePreset, SimConfig, TweetId};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One test (so no parallel test thread allocates mid-measurement).
+#[test]
+fn cached_feature_access_does_not_allocate() {
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 7));
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("smoke corpus is well-formed");
+    let probe: Vec<TweetId> = (0..200u32).map(TweetId).collect();
+
+    // Sanity: the counter sees the old per-call pattern allocating.
+    let before = allocations();
+    let mut old_path_grams = 0usize;
+    for &id in &probe {
+        old_path_grams += pmr_text::char_ngrams(&prepared.raw_text(id).to_lowercase(), 3).len();
+    }
+    assert!(allocations() > before, "counting allocator must observe the uncached path");
+
+    // Warm the cache: one lowercase pass + one table build per key.
+    let table = prepared.gram_table(GramKind::Char, 3);
+    let _ = prepared.lowercased_text(TweetId(0));
+
+    // Repeated access afterwards must not allocate at all: texts and gram
+    // id sequences come back as borrows, and a second `gram_table` lookup
+    // is a mutex-guarded map read plus an `Arc` clone.
+    let before = allocations();
+    let mut cached_grams = 0usize;
+    let mut text_bytes = 0usize;
+    for _ in 0..3 {
+        for &id in &probe {
+            cached_grams += table.doc(id).len();
+            text_bytes += prepared.lowercased_text(id).len();
+        }
+    }
+    let again = prepared.gram_table(GramKind::Char, 3);
+    assert_eq!(allocations(), before, "cached feature access must be allocation-free");
+    assert!(text_bytes > 0, "lowercased texts must be non-trivial");
+
+    assert!(std::sync::Arc::ptr_eq(&table, &again), "repeat lookups share one table");
+    assert_eq!(cached_grams, 3 * old_path_grams, "cached grams must match the uncached ones");
+}

@@ -5,6 +5,10 @@
 //! benchmark groups) but measures with a simple calibrated wall-clock
 //! loop: run the closure until the measurement window elapses, report
 //! mean time per iteration to stdout. No statistics, plots, or baselines.
+//!
+//! Like real criterion, `cargo bench -- --test` switches to test mode:
+//! every routine runs exactly once, unmeasured — CI uses this to verify
+//! the benches still compile and execute without paying for measurement.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -18,6 +22,7 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -26,6 +31,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(1),
             warm_up_time: Duration::from_millis(300),
             sample_size: 100,
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -54,7 +60,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, self.warm_up_time, self.measurement_time, f);
+        run_one(id, self.warm_up_time, self.measurement_time, self.test_mode, f);
         self
     }
 
@@ -63,7 +69,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.0, self.warm_up_time, self.measurement_time, |b| f(b, input));
+        run_one(&id.0, self.warm_up_time, self.measurement_time, self.test_mode, |b| f(b, input));
         self
     }
 
@@ -102,7 +108,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{id}", self.name);
-        run_one(&full, self.criterion.warm_up_time, self.criterion.measurement_time, f);
+        run_one(
+            &full,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.criterion.test_mode,
+            f,
+        );
         self
     }
 
@@ -112,9 +124,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.0);
-        run_one(&full, self.criterion.warm_up_time, self.criterion.measurement_time, |b| {
-            f(b, input)
-        });
+        run_one(
+            &full,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -126,11 +142,18 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     routine_time: Duration,
     iterations: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Measure `routine`, running it repeatedly for the configured window.
+    /// Measure `routine`, running it repeatedly for the configured window
+    /// (or exactly once in `--test` mode).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
         let start = Instant::now();
         let mut iters = 0u64;
         loop {
@@ -146,10 +169,22 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, measure: Duration, mut f: F) {
-    let mut warm = Bencher { routine_time: warm_up, iterations: 0 };
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warm_up: Duration,
+    measure: Duration,
+    test_mode: bool,
+    mut f: F,
+) {
+    if test_mode {
+        let mut bench = Bencher { routine_time: Duration::ZERO, iterations: 0, test_mode };
+        f(&mut bench);
+        println!("Testing {id} ... ok");
+        return;
+    }
+    let mut warm = Bencher { routine_time: warm_up, iterations: 0, test_mode: false };
     f(&mut warm);
-    let mut bench = Bencher { routine_time: measure, iterations: 0 };
+    let mut bench = Bencher { routine_time: measure, iterations: 0, test_mode: false };
     f(&mut bench);
     let per_iter = bench.routine_time.as_nanos() / bench.iterations.max(1) as u128;
     println!("{id:<40} {:>12} ns/iter ({} iterations)", per_iter, bench.iterations);
