@@ -168,6 +168,33 @@ mod tests {
     }
 
     #[test]
+    fn ranking_ignores_input_order_entirely() {
+        // Regression for the serving-era determinism audit: with the
+        // (score, tie_break) pair fixed, AP must be invariant under any
+        // permutation of the input slice — equal-score docs included —
+        // because every ranking consumer (batch eval, baselines, the
+        // serve engine's top-k) promises order-independence.
+        let base = vec![
+            ScoredDoc { score: 0.7, relevant: true, tie_break: 4 },
+            ScoredDoc { score: 0.5, relevant: false, tie_break: 2 },
+            ScoredDoc { score: 0.5, relevant: true, tie_break: 9 },
+            ScoredDoc { score: 0.5, relevant: false, tie_break: 1 },
+            ScoredDoc { score: 0.1, relevant: true, tie_break: 0 },
+        ];
+        let reference = average_precision(&base);
+        // All rotations and a reversal — enough permutations to catch any
+        // positional dependence in the sort.
+        for rotation in 0..base.len() {
+            let mut permuted = base.clone();
+            permuted.rotate_left(rotation);
+            assert_eq!(average_precision(&permuted), reference);
+        }
+        let mut reversed = base.clone();
+        reversed.reverse();
+        assert_eq!(average_precision(&reversed), reference);
+    }
+
+    #[test]
     fn all_tied_scores_reward_low_ids() {
         // With every score equal the ranking is the id order; AP depends
         // only on where the relevant ids sit — a property the RAN baseline

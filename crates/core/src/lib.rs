@@ -48,7 +48,7 @@ pub use error::{PmrError, PmrResult};
 pub use eval::{average_precision, map_deviation, mean_average_precision};
 pub use experiment::{ExperimentRunner, RunnerOptions, SweepResult};
 pub use features::{FeatureCache, GramKind, GramTable};
-pub use online::{OnlineBagModel, OnlineGraphModel};
+pub use online::{OnlineBagModel, OnlineGraphModel, OnlineProfile};
 pub use prepare::PreparedCorpus;
 pub use recommender::score_configuration;
 pub use significance::{paired_randomization_test, wilcoxon_signed_rank, PairedComparison};

@@ -20,41 +20,77 @@ use pmr_bag::{BagSimilarity, BagVectorizer, SparseVector};
 use pmr_graph::{GraphSimilarity, GraphSpace, NGramGraph};
 use serde::{Deserialize, Serialize};
 
-/// An incrementally-updated bag user model over a fixed vectorizer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct OnlineBagModel {
-    vectorizer: BagVectorizer,
-    similarity: BagSimilarity,
+/// The vectorizer-free core of an online bag model: an exponentially
+/// decayed sum of unit document vectors.
+///
+/// Extracted from [`OnlineBagModel`] so a serving engine with one *shared*
+/// feature space (`pmr_bag::IndexedVectorizer`) can keep a profile per user
+/// without cloning a vectorizer into each of them; the caller supplies
+/// already-transformed, unit-normalized vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineProfile {
     /// Decay multiplier applied to the accumulated model before each
-    /// update; 1.0 = no forgetting (running centroid).
+    /// update; 1.0 = no forgetting (running centroid up to scale).
     decay: f32,
     accumulated: SparseVector,
     documents: usize,
 }
 
-impl OnlineBagModel {
-    /// Start an empty model over a fitted vectorizer.
+impl OnlineProfile {
+    /// Start an empty profile.
     ///
     /// `decay` ∈ (0, 1]: the weight multiplier applied to history per
     /// update. With decay `d`, a document observed `k` updates ago carries
     /// relative weight `d^k` — a half-life of `ln 2 / ln(1/d)` updates.
-    pub fn new(vectorizer: BagVectorizer, similarity: BagSimilarity, decay: f32) -> Self {
+    pub fn new(decay: f32) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-        OnlineBagModel {
-            vectorizer,
-            similarity,
-            decay,
-            accumulated: SparseVector::new(),
-            documents: 0,
-        }
+        OnlineProfile { decay, accumulated: SparseVector::new(), documents: 0 }
+    }
+
+    /// Fold one observed document's *unit-normalized* vector into the
+    /// profile.
+    pub fn observe_unit(&mut self, unit: &SparseVector) {
+        self.accumulated.scale(self.decay);
+        self.accumulated.add_scaled(unit, 1.0);
+        self.documents += 1;
+    }
+
+    /// The decay multiplier.
+    pub fn decay(&self) -> f32 {
+        self.decay
+    }
+
+    /// Number of observed documents.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// The current (unnormalized) model vector.
+    pub fn vector(&self) -> &SparseVector {
+        &self.accumulated
+    }
+}
+
+/// An incrementally-updated bag user model over a fixed vectorizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineBagModel {
+    vectorizer: BagVectorizer,
+    similarity: BagSimilarity,
+    profile: OnlineProfile,
+}
+
+impl OnlineBagModel {
+    /// Start an empty model over a fitted vectorizer.
+    ///
+    /// `decay` ∈ (0, 1]; see [`OnlineProfile::new`].
+    pub fn new(vectorizer: BagVectorizer, similarity: BagSimilarity, decay: f32) -> Self {
+        OnlineBagModel { vectorizer, similarity, profile: OnlineProfile::new(decay) }
     }
 
     /// Fold one observed document (its n-gram list) into the model.
     pub fn observe<S: AsRef<str>>(&mut self, grams: &[S]) {
         let v = self.vectorizer.transform(grams).normalized();
-        self.accumulated.scale(self.decay);
-        self.accumulated.add_scaled(&v, 1.0);
-        self.documents += 1;
+        self.profile.observe_unit(&v);
     }
 
     /// Score a candidate document against the current model.
@@ -66,17 +102,22 @@ impl OnlineBagModel {
     /// make a document's self-similarity depend on its raw norm.
     pub fn score<S: AsRef<str>>(&self, grams: &[S]) -> f64 {
         let v = self.vectorizer.transform(grams).normalized();
-        self.similarity.compare(&self.accumulated, &v)
+        self.similarity.compare(self.profile.vector(), &v)
     }
 
     /// Number of observed documents.
     pub fn documents(&self) -> usize {
-        self.documents
+        self.profile.documents()
     }
 
     /// The current (unnormalized) model vector.
     pub fn model(&self) -> &SparseVector {
-        &self.accumulated
+        self.profile.vector()
+    }
+
+    /// The similarity the model scores under.
+    pub fn similarity(&self) -> BagSimilarity {
+        self.similarity
     }
 }
 
@@ -230,5 +271,64 @@ mod tests {
     fn zero_decay_is_rejected() {
         let vectorizer = BagVectorizer::fit(WeightingScheme::TF, docs().iter());
         let _ = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pmr_bag::{AggregationFunction, WeightingScheme};
+    use proptest::prelude::*;
+
+    fn arb_doc() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-f]{1,3}", 1..10)
+    }
+
+    proptest! {
+        /// The bag counterpart of the graph convergence test: with decay 1
+        /// the online model is the *sum* of unit document vectors, the
+        /// batch centroid is their *mean* — a scale factor cosine ignores,
+        /// so both must induce the same candidate ranking on any static
+        /// stream.
+        #[test]
+        fn undecayed_online_bag_ranks_like_the_batch_centroid(
+            train in proptest::collection::vec(arb_doc(), 1..8),
+            probes in proptest::collection::vec(arb_doc(), 2..6),
+        ) {
+            let vectorizer = BagVectorizer::fit(WeightingScheme::TF, train.iter());
+            let mut online = OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 1.0);
+            for d in &train {
+                online.observe(d);
+            }
+            let vectors: Vec<SparseVector> =
+                train.iter().map(|d| vectorizer.transform(d)).collect();
+            let batch = AggregationFunction::Centroid.aggregate(&vectors, &[]);
+            let online_scores: Vec<f64> = probes.iter().map(|p| online.score(p)).collect();
+            let batch_scores: Vec<f64> = probes
+                .iter()
+                .map(|p| {
+                    BagSimilarity::Cosine
+                        .compare(&batch, &vectorizer.transform(p).normalized())
+                })
+                .collect();
+            for (o, b) in online_scores.iter().zip(&batch_scores) {
+                prop_assert!((o - b).abs() < 1e-6, "scores diverge: online {o}, batch {b}");
+            }
+            // Whenever batch separates two probes beyond float noise, the
+            // online model must order them identically.
+            for i in 0..probes.len() {
+                for j in 0..probes.len() {
+                    if batch_scores[i] > batch_scores[j] + 1e-6 {
+                        prop_assert!(
+                            online_scores[i] > online_scores[j],
+                            "ranking flip between probes {i} and {j}: \
+                             online ({}, {}) vs batch ({}, {})",
+                            online_scores[i], online_scores[j],
+                            batch_scores[i], batch_scores[j]
+                        );
+                    }
+                }
+            }
+        }
     }
 }

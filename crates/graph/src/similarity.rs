@@ -44,17 +44,29 @@ impl GraphSimilarity {
 
 /// Iterate over the common edges, summing `min(w_a, w_b) / max(w_a, w_b)`.
 /// Iterates the smaller edge map and probes the larger.
+///
+/// The per-edge terms are collected and sorted by edge key before the f64
+/// accumulation: float addition is not associative, so summing in hash-map
+/// iteration order would let the process-random hash seed pick the final
+/// bits. Rankings survive that noise (which is why the batch sweep, which
+/// persists only rank-derived APs, never noticed), but `pmr-serve` logs raw
+/// scores and diffs them byte-for-byte across processes.
 fn value_sum(a: &NGramGraph, b: &NGramGraph) -> f64 {
     let (small, large) = if a.size() <= b.size() { (a, b) } else { (b, a) };
-    let mut sum = 0.0f64;
+    let mut terms: Vec<(u64, f64)> = Vec::new();
     for (key, &ws) in small.raw() {
         if let Some(&wl) = large.raw().get(key) {
             let (ws, wl) = (ws.abs() as f64, wl.abs() as f64);
             let hi = ws.max(wl);
             if hi > 0.0 {
-                sum += ws.min(wl) / hi;
+                terms.push((*key, ws.min(wl) / hi));
             }
         }
+    }
+    terms.sort_unstable_by_key(|&(key, _)| key);
+    let mut sum = 0.0f64;
+    for &(_, term) in &terms {
+        sum += term;
     }
     sum
 }

@@ -62,6 +62,30 @@ impl HistogramSnapshot {
     pub fn total(&self) -> Duration {
         Duration::from_micros(self.sum_us)
     }
+
+    /// A quantile estimate in µs (`q` clamped to `[0, 1]`; 0 when empty).
+    ///
+    /// Walks the cumulative bucket counts to the first bucket containing
+    /// the `⌈q·count⌉`-th observation and reports that bucket's upper
+    /// bound, clamped to the observed `[min_us, max_us]` range. With log-4
+    /// buckets the estimate is an upper bound within a factor of 4 of the
+    /// true quantile — the resolution the serving benchmarks report their
+    /// p50/p99 latencies at. Deterministic: depends only on the snapshot.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
+                return bound.clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -244,6 +268,36 @@ mod tests {
             HistogramSnapshot { count: 0, sum_us: 0, min_us: 0, max_us: 0, buckets: vec![] }.mean(),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let m = MetricsRegistry::new();
+        // 99 fast observations (≤ 16µs bucket) and one slow outlier.
+        for _ in 0..99 {
+            m.observe("q", Duration::from_micros(10));
+        }
+        m.observe("q", Duration::from_micros(5_000_000));
+        let s = m.snapshot();
+        let h = s.histogram("q").expect("histogram exists");
+        assert_eq!(h.quantile_us(0.5), 16, "p50 sits in the ≤16µs bucket");
+        assert_eq!(h.quantile_us(0.99), 16, "99 of 100 observations are fast");
+        assert_eq!(h.quantile_us(1.0), 5_000_000, "p100 clamps to the max");
+        assert!(h.quantile_us(0.5) <= h.quantile_us(0.999), "quantiles are monotone");
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_exact() {
+        let m = MetricsRegistry::new();
+        m.observe("one", Duration::from_micros(777));
+        let s = m.snapshot();
+        let h = s.histogram("one").expect("histogram exists");
+        // Bucket bound 1024 clamps to the observed min==max==777.
+        assert_eq!(h.quantile_us(0.5), 777);
+        assert_eq!(h.quantile_us(0.99), 777);
+        let empty =
+            HistogramSnapshot { count: 0, sum_us: 0, min_us: 0, max_us: 0, buckets: vec![] };
+        assert_eq!(empty.quantile_us(0.5), 0);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Serving-engine configuration.
+//!
+//! [`EngineConfig`] is the *semantic* configuration: it determines every
+//! recommendation the engine will ever emit and therefore travels inside
+//! snapshots. [`RuntimeOptions`] is the *mechanical* configuration — shard
+//! and queue sizing — which by the determinism contract must never change
+//! an output, and is therefore deliberately excluded from snapshots: a
+//! snapshot taken on one shard layout restores onto any other.
+
+use pmr_bag::{BagSimilarity, WeightingScheme};
+use pmr_graph::GraphSimilarity;
+use serde::{Deserialize, Serialize};
+
+/// The online model family the engine maintains for every user.
+///
+/// Mirrors the batch study's two incremental-friendly families (§3.2): the
+/// decayed bag centroid and the n-gram graph with its running-average
+/// update operator. Topic models are excluded — Labeled-LDA inference is
+/// not incremental and the paper found it dominated anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServeModel {
+    /// Exponentially decayed centroid of unit document vectors
+    /// ([`pmr_core::OnlineProfile`]) scored with a bag similarity.
+    Bag {
+        /// Term weighting of the shared vectorizer.
+        weighting: WeightingScheme,
+        /// Similarity used at query time.
+        similarity: BagSimilarity,
+        /// Character n-grams instead of token n-grams.
+        char_grams: bool,
+        /// Gram order.
+        n: usize,
+        /// History decay per observed document, in (0, 1].
+        decay: f32,
+    },
+    /// Incremental n-gram graph ([`pmr_core::OnlineGraphModel`]).
+    Graph {
+        /// Graph similarity used at query time.
+        similarity: GraphSimilarity,
+        /// Character n-grams instead of token n-grams.
+        char_grams: bool,
+        /// Gram order (also the graph's co-occurrence window).
+        n: usize,
+    },
+}
+
+impl ServeModel {
+    /// Whether the model reads character grams (vs token grams).
+    pub fn char_grams(self) -> bool {
+        match self {
+            ServeModel::Bag { char_grams, .. } | ServeModel::Graph { char_grams, .. } => char_grams,
+        }
+    }
+
+    /// The gram order.
+    pub fn n(self) -> usize {
+        match self {
+            ServeModel::Bag { n, .. } | ServeModel::Graph { n, .. } => n,
+        }
+    }
+
+    /// Short human-readable name for logs and benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeModel::Bag { .. } => "bag",
+            ServeModel::Graph { .. } => "graph",
+        }
+    }
+}
+
+/// Everything that determines the engine's *outputs*. Serialized into
+/// snapshots; restoring under a different `EngineConfig` is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The per-user online model.
+    pub model: ServeModel,
+    /// Candidate-window capacity per user: how many of the most recent
+    /// feed tweets stay eligible for recommendation. Oldest entries are
+    /// evicted first.
+    pub window: usize,
+}
+
+/// Mechanical sizing knobs. Changing these must never change a
+/// recommendation — that invariant is the subsystem's core contract and is
+/// what the `serve-smoke` CI job byte-diffs for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Number of shard workers; users are partitioned `user_id % shards`.
+    pub shards: usize,
+    /// Bounded per-shard ingest queue capacity. When a queue fills, the
+    /// ingest thread blocks (after bumping the `serve.backpressure`
+    /// counter) rather than buffering unboundedly.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions { shards: 4, queue_capacity: 1024 }
+    }
+}
+
+impl RuntimeOptions {
+    /// Clamp to at least one shard and a one-slot queue.
+    pub fn normalized(self) -> RuntimeOptions {
+        RuntimeOptions { shards: self.shards.max(1), queue_capacity: self.queue_capacity.max(1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let configs = [
+            EngineConfig {
+                model: ServeModel::Bag {
+                    weighting: WeightingScheme::TFIDF,
+                    similarity: BagSimilarity::Cosine,
+                    char_grams: false,
+                    n: 1,
+                    decay: 0.97,
+                },
+                window: 128,
+            },
+            EngineConfig {
+                model: ServeModel::Graph {
+                    similarity: GraphSimilarity::Value,
+                    char_grams: true,
+                    n: 3,
+                },
+                window: 64,
+            },
+        ];
+        for config in configs {
+            let json = serde_json::to_string(&config).expect("serializes");
+            let back: EngineConfig = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn runtime_options_normalize_degenerate_sizes() {
+        let r = RuntimeOptions { shards: 0, queue_capacity: 0 }.normalized();
+        assert_eq!(r.shards, 1);
+        assert_eq!(r.queue_capacity, 1);
+    }
+}

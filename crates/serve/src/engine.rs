@@ -1,0 +1,338 @@
+//! The serving engine: shard lifecycle, ingest fan-out, query collection
+//! and snapshot orchestration.
+//!
+//! The engine is single-writer: one thread (the replay driver, or any
+//! caller) pushes candidates, observations and queries; `shards` worker
+//! threads apply them. Ingest queues are **bounded** — when a shard falls
+//! behind, the writer blocks on that shard's queue after bumping the
+//! `serve.backpressure` counter, so memory stays flat under any load
+//! imbalance instead of buffering the whole stream.
+//!
+//! Query answers arrive on a shared reply channel in nondeterministic
+//! cross-shard order; the engine re-sequences them by query id (assigned
+//! at issue time on the single writer) before anything user-visible sees
+//! them, which is why shard scheduling never leaks into output order.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use pmr_core::{PmrError, PmrResult};
+use pmr_sim::{Timestamp, TweetId, UserId};
+
+use crate::config::{EngineConfig, RuntimeOptions};
+use crate::shard::{Recommendation, ShardMsg, ShardReply, ShardWorker, TweetFeatures, UserState};
+use crate::snapshot::{EngineSnapshot, SnapshotHeader, SNAPSHOT_VERSION};
+
+/// A running sharded serving engine.
+pub struct Engine {
+    config: EngineConfig,
+    senders: Vec<Sender<ShardMsg>>,
+    reply_rx: Receiver<ShardReply>,
+    workers: Vec<JoinHandle<()>>,
+    next_query: u64,
+    answered: BTreeMap<u64, Recommendation>,
+}
+
+impl Engine {
+    /// Spawn an empty engine.
+    pub fn start(config: EngineConfig, runtime: RuntimeOptions) -> Engine {
+        Engine::spawn(config, runtime, Vec::new(), 0)
+    }
+
+    /// Spawn an engine from a snapshot, under any shard layout.
+    ///
+    /// `resolve` maps a window entry's tweet id back to its features
+    /// (recomputed from the corpus — snapshots store references, not
+    /// vectors). Entries whose features cannot be resolved are dropped.
+    pub fn resume(
+        snapshot: &EngineSnapshot,
+        runtime: RuntimeOptions,
+        resolve: &dyn Fn(TweetId) -> Option<Arc<TweetFeatures>>,
+    ) -> PmrResult<Engine> {
+        if snapshot.header.version != SNAPSHOT_VERSION {
+            return Err(PmrError::Serialize {
+                detail: format!(
+                    "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                    snapshot.header.version
+                ),
+            });
+        }
+        let restored: Vec<(UserId, UserState)> = snapshot
+            .users
+            .iter()
+            .map(|u| (UserId(u.user), UserState::restore(u, resolve)))
+            .collect();
+        Ok(Engine::spawn(snapshot.header.config, runtime, restored, snapshot.header.queries))
+    }
+
+    fn spawn(
+        config: EngineConfig,
+        runtime: RuntimeOptions,
+        users: Vec<(UserId, UserState)>,
+        next_query: u64,
+    ) -> Engine {
+        let runtime = runtime.normalized();
+        pmr_obs::gauge_set("serve.shards", runtime.shards as f64);
+        pmr_obs::gauge_set("serve.queue_capacity", runtime.queue_capacity as f64);
+        let mut partitions: Vec<BTreeMap<UserId, UserState>> =
+            (0..runtime.shards).map(|_| BTreeMap::new()).collect();
+        for (user, state) in users {
+            partitions[user.0 as usize % runtime.shards].insert(user, state);
+        }
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let mut senders = Vec::with_capacity(runtime.shards);
+        let mut workers = Vec::with_capacity(runtime.shards);
+        for partition in partitions {
+            let (tx, rx) = channel::bounded(runtime.queue_capacity);
+            let worker = ShardWorker::new(config, partition, rx, reply_tx.clone());
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || worker.run()));
+        }
+        Engine { config, senders, reply_rx, workers, next_query, answered: BTreeMap::new() }
+    }
+
+    /// The engine's semantic configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn shard_of(&self, user: UserId) -> usize {
+        user.0 as usize % self.senders.len()
+    }
+
+    /// Deliver to a shard, blocking (with a backpressure count) when its
+    /// queue is full.
+    fn post(&self, shard: usize, msg: ShardMsg) {
+        let msg = match self.senders[shard].try_send(msg) {
+            Ok(()) => return,
+            Err(TrySendError::Full(m)) => {
+                pmr_obs::counter_add("serve.backpressure", 1);
+                m
+            }
+            Err(TrySendError::Disconnected(m)) => m,
+        };
+        let delivered = self.senders[shard].send(msg).is_ok();
+        assert!(delivered, "shard {shard} worker exited while the stream is still open");
+    }
+
+    /// A tweet entered `user`'s feed: register it as a candidate.
+    pub fn post_candidate(
+        &mut self,
+        user: UserId,
+        tweet: TweetId,
+        at: Timestamp,
+        features: &Arc<TweetFeatures>,
+    ) {
+        pmr_obs::counter_add("serve.candidates", 1);
+        let msg = ShardMsg::Candidate { user, tweet, at, features: Arc::clone(features) };
+        self.post(self.shard_of(user), msg);
+    }
+
+    /// `user` retweeted: fold the original's features into their model.
+    pub fn observe(&mut self, user: UserId, features: &Arc<TweetFeatures>) {
+        pmr_obs::counter_add("serve.observes", 1);
+        let msg = ShardMsg::Observe { user, features: Arc::clone(features) };
+        self.post(self.shard_of(user), msg);
+    }
+
+    /// Ask for `user`'s top-`k` as of `now`. Returns the query id; the
+    /// answer is re-sequenced into [`Engine::finish`]'s output.
+    pub fn query(&mut self, user: UserId, k: usize, now: Timestamp) -> u64 {
+        let id = self.next_query;
+        self.next_query += 1;
+        pmr_obs::counter_add("serve.queries", 1);
+        self.post(self.shard_of(user), ShardMsg::Query { id, user, k, now });
+        // Opportunistically drain answers so the reply queue stays small
+        // on long replays.
+        self.drain_ready();
+        id
+    }
+
+    /// Queries issued so far (= the next query id).
+    pub fn queries_issued(&self) -> u64 {
+        self.next_query
+    }
+
+    fn drain_ready(&mut self) {
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            // Snapshot parts cannot appear here: `snapshot` collects all of
+            // them before returning, so outside that barrier the reply
+            // queue only ever carries recommendations.
+            let _ = self.stash(reply);
+        }
+    }
+
+    /// File a recommendation under its query id; pass snapshot parts back
+    /// to the caller.
+    fn stash(&mut self, reply: ShardReply) -> Option<Vec<crate::snapshot::UserSnapshot>> {
+        match reply {
+            ShardReply::Recommendation(rec) => {
+                self.answered.insert(rec.query, rec);
+                None
+            }
+            ShardReply::SnapshotPart { users } => Some(users),
+        }
+    }
+
+    /// Pause-and-copy the complete engine state at the current stream
+    /// position (`events` is supplied by the driver, which owns the event
+    /// cursor). Processing resumes immediately afterwards; the engine
+    /// remains usable.
+    ///
+    /// Every message sent before this call is reflected in the snapshot:
+    /// the snapshot marker traverses the same FIFO queues, so each shard
+    /// answers only after applying everything ahead of it.
+    pub fn snapshot(&mut self, events: u64) -> EngineSnapshot {
+        for shard in 0..self.senders.len() {
+            self.post(shard, ShardMsg::Snapshot);
+        }
+        let mut parts: Vec<Vec<crate::snapshot::UserSnapshot>> = Vec::new();
+        while parts.len() < self.senders.len() {
+            match self.reply_rx.recv() {
+                Ok(reply) => {
+                    if let Some(users) = self.stash(reply) {
+                        parts.push(users);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        assert!(
+            parts.len() == self.senders.len(),
+            "shard workers exited before answering the snapshot barrier"
+        );
+        let mut users: Vec<crate::snapshot::UserSnapshot> = parts.into_iter().flatten().collect();
+        users.sort_by_key(|u| u.user);
+        EngineSnapshot {
+            header: SnapshotHeader {
+                version: SNAPSHOT_VERSION,
+                config: self.config,
+                events,
+                queries: self.next_query,
+                users: users.len() as u64,
+            },
+            users,
+        }
+    }
+
+    /// Close the stream, wait for every shard to drain, and return all
+    /// recommendations in query-id order.
+    pub fn finish(mut self) -> Vec<Recommendation> {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let ok = handle.join().is_ok();
+            assert!(ok, "a shard worker panicked");
+        }
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            let _ = self.stash(reply);
+        }
+        let answered = std::mem::take(&mut self.answered);
+        answered.into_values().collect()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("shards", &self.senders.len())
+            .field("next_query", &self.next_query)
+            .field("answered", &self.answered.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeModel;
+    use pmr_bag::{BagSimilarity, SparseVector, WeightingScheme};
+
+    fn bag_config(window: usize) -> EngineConfig {
+        EngineConfig {
+            model: ServeModel::Bag {
+                weighting: WeightingScheme::TF,
+                similarity: BagSimilarity::Cosine,
+                char_grams: false,
+                n: 1,
+                decay: 1.0,
+            },
+            window,
+        }
+    }
+
+    fn unit(dim: u32) -> Arc<TweetFeatures> {
+        Arc::new(TweetFeatures::Bag(SparseVector::from_pairs(vec![(dim, 1.0)])))
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_ascending_tweet_id() {
+        let mut engine =
+            Engine::start(bag_config(8), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        let user = UserId(1);
+        let features = unit(0);
+        engine.observe(user, &features);
+        // Identical vectors → identical scores; posting order 9, 2, 5 must
+        // not leak into the answer.
+        for tweet in [9u32, 2, 5] {
+            engine.post_candidate(user, TweetId(tweet), 10, &features);
+        }
+        engine.query(user, 3, 10);
+        let recs = engine.finish();
+        assert_eq!(recs.len(), 1);
+        let ids: Vec<u32> = recs[0].items.iter().map(|i| i.tweet).collect();
+        assert_eq!(ids, vec![2, 5, 9], "ties must order by tweet id");
+        assert!(recs[0].items.iter().all(|i| (i.score - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn queries_respect_the_time_horizon_and_k() {
+        let mut engine =
+            Engine::start(bag_config(8), RuntimeOptions { shards: 2, queue_capacity: 4 });
+        let user = UserId(3);
+        let features = unit(1);
+        engine.observe(user, &features);
+        engine.post_candidate(user, TweetId(1), 5, &features);
+        engine.post_candidate(user, TweetId(2), 15, &features);
+        // now = 10: the tweet from t=15 is in the window but not yet
+        // eligible.
+        engine.query(user, 10, 10);
+        let recs = engine.finish();
+        assert_eq!(recs[0].items.len(), 1);
+        assert_eq!(recs[0].items[0].tweet, 1);
+    }
+
+    #[test]
+    fn window_evicts_oldest_and_dedups_repeat_exposures() {
+        let mut engine =
+            Engine::start(bag_config(2), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        let user = UserId(5);
+        let features = unit(2);
+        engine.observe(user, &features);
+        engine.post_candidate(user, TweetId(1), 1, &features);
+        engine.post_candidate(user, TweetId(1), 2, &features); // repeat exposure
+        engine.post_candidate(user, TweetId(2), 3, &features);
+        engine.post_candidate(user, TweetId(3), 4, &features); // evicts tweet 1
+        engine.query(user, 10, 100);
+        let recs = engine.finish();
+        let ids: Vec<u32> = recs[0].items.iter().map(|i| i.tweet).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn unknown_users_get_empty_recommendations() {
+        let mut engine =
+            Engine::start(bag_config(4), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        engine.query(UserId(99), 5, 10);
+        let recs = engine.finish();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].items.is_empty());
+    }
+}

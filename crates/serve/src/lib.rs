@@ -1,0 +1,66 @@
+//! # pmr-serve
+//!
+//! A sharded **online** recommendation serving engine over the study's
+//! incremental user models, with deterministic stream replay.
+//!
+//! The batch pipeline (`pmr-core`) answers the paper's question — *which
+//! configuration ranks best?* — by refitting models from scratch. This
+//! crate answers the deployment question the paper motivates in §1: the
+//! same models maintained *incrementally* against a live tweet stream,
+//! serving `recommend(user, k, now)` at any point.
+//!
+//! ```text
+//!                      ┌──────────────────────────────┐
+//!   corpus stream ───▶ │ ingest (single writer)       │
+//!   (time-ordered)     │  · features once per tweet   │
+//!                      │  · fan out to followers      │
+//!                      └──────┬───────┬───────────────┘
+//!                   bounded   │       │   bounded
+//!                   FIFO ▼    ▼       ▼   FIFO
+//!                  ┌───────┐ ┌───────┐ ┌───────┐
+//!                  │shard 0│ │shard 1│ │shard N│   user_id % shards
+//!                  │models+│ │models+│ │models+│   one user ↦ one shard
+//!                  │windows│ │windows│ │windows│
+//!                  └───┬───┘ └───┬───┘ └───┬───┘
+//!                      └───────┬─┴─────────┘
+//!                              ▼ replies (re-sequenced by query id)
+//!                      recommendations / snapshots
+//! ```
+//!
+//! ## The determinism contract
+//!
+//! The engine's output — the recommendation log and any snapshot — is a
+//! pure function of the event stream and the [`EngineConfig`]. Shard
+//! count, queue capacity and feature-precompute thread count are
+//! *mechanical* knobs that must never change a byte of output:
+//!
+//! * each user's state lives in exactly one shard and receives its
+//!   messages through one FIFO in global stream order, so per-user state
+//!   evolution is layout-independent;
+//! * query answers are re-sequenced by their issue-time ids before
+//!   anything user-visible sees them;
+//! * there is no wall-clock anywhere in the serving path — time is the
+//!   stream's own timestamps, and observability timers run on `pmr-obs`'s
+//!   injected clock.
+//!
+//! CI's `serve-smoke` job replays a seeded stream under 1 vs 4 shards and
+//! 1 vs 4 jobs and byte-diffs the logs; the same checks run in-repo as
+//! `#[test]`s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod replay;
+pub mod shard;
+pub mod snapshot;
+
+pub use config::{EngineConfig, RuntimeOptions, ServeModel};
+pub use engine::Engine;
+pub use replay::{rec_log, Replay, ReplayOptions, ReplayOutcome};
+pub use shard::{RecItem, Recommendation, TweetFeatures};
+pub use snapshot::{
+    EngineSnapshot, SnapshotHeader, UserModelSnapshot, UserSnapshot, WindowEntrySnapshot,
+    SNAPSHOT_VERSION,
+};

@@ -1,0 +1,274 @@
+//! Shard workers: the per-user online state and the message protocol.
+//!
+//! Every user's model and candidate window live in exactly one shard
+//! (`user_id % shards`), and the single ingest thread sends a user's
+//! messages through that shard's FIFO channel in global stream order. A
+//! user's state therefore evolves through the same sequence of updates no
+//! matter how many shards or threads exist — the mechanical layout only
+//! changes *which thread* applies the sequence, never the sequence itself.
+//! That argument is the whole determinism proof; everything else in this
+//! module is bookkeeping.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use pmr_bag::{ScoringKernel, SparseVector};
+use pmr_core::{OnlineGraphModel, OnlineProfile};
+use pmr_sim::{Timestamp, TweetId, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{EngineConfig, ServeModel};
+use crate::snapshot::{UserModelSnapshot, UserSnapshot, WindowEntrySnapshot};
+
+/// A tweet's model-ready features, computed once at ingest and shared by
+/// reference with every shard that sees the tweet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TweetFeatures {
+    /// Unit-normalized bag vector over the engine's shared vectorizer.
+    Bag(SparseVector),
+    /// Gram surface forms for the graph models.
+    Graph(Vec<String>),
+}
+
+/// One scored tweet in a recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecItem {
+    /// The recommended tweet's id.
+    pub tweet: u32,
+    /// Its similarity to the user's model.
+    pub score: f64,
+}
+
+/// The engine's answer to one `recommend(user, k, now)` call.
+///
+/// Deliberately carries no timing fields: a recommendation log is a pure
+/// function of the event stream and the [`EngineConfig`], so two runs with
+/// different shard or thread counts must produce byte-identical logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Sequential query id, assigned at issue time.
+    pub query: u64,
+    /// The queried user.
+    pub user: u32,
+    /// The query's time horizon: only candidates posted at or before this
+    /// instant are eligible.
+    pub now: Timestamp,
+    /// Top-k candidates, best first; ties broken by ascending tweet id.
+    pub items: Vec<RecItem>,
+}
+
+/// Messages flowing from the ingest thread into a shard.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// A tweet entered `user`'s feed: remember it as a candidate.
+    Candidate { user: UserId, tweet: TweetId, at: Timestamp, features: Arc<TweetFeatures> },
+    /// `user` retweeted: fold the original's features into their model.
+    Observe { user: UserId, features: Arc<TweetFeatures> },
+    /// Score `user`'s candidate window as of `now` and reply.
+    Query { id: u64, user: UserId, k: usize, now: Timestamp },
+    /// Emit the shard's full state; processing continues afterwards.
+    Snapshot,
+}
+
+/// Messages flowing back from a shard to the engine.
+#[derive(Debug)]
+pub(crate) enum ShardReply {
+    /// Answer to a [`ShardMsg::Query`].
+    Recommendation(Recommendation),
+    /// Answer to a [`ShardMsg::Snapshot`].
+    SnapshotPart { users: Vec<UserSnapshot> },
+}
+
+/// The per-user online model, matching the engine's [`ServeModel`].
+#[derive(Debug)]
+enum UserModel {
+    Bag(OnlineProfile),
+    Graph(Box<OnlineGraphModel>),
+}
+
+/// One remembered feed tweet.
+#[derive(Debug)]
+struct WindowEntry {
+    tweet: TweetId,
+    at: Timestamp,
+    features: Arc<TweetFeatures>,
+}
+
+/// One user's complete serving state: their model plus the bounded window
+/// of recent feed tweets still eligible for recommendation.
+#[derive(Debug)]
+pub(crate) struct UserState {
+    model: UserModel,
+    window: VecDeque<WindowEntry>,
+}
+
+impl UserState {
+    fn new(model: ServeModel) -> UserState {
+        let model = match model {
+            ServeModel::Bag { decay, .. } => UserModel::Bag(OnlineProfile::new(decay)),
+            ServeModel::Graph { similarity, n, .. } => {
+                UserModel::Graph(Box::new(OnlineGraphModel::new(similarity, n)))
+            }
+        };
+        UserState { model, window: VecDeque::new() }
+    }
+
+    /// Rebuild a state from its snapshot, resolving window entries' tweet
+    /// ids back to features through `resolve`.
+    pub(crate) fn restore(
+        snapshot: &UserSnapshot,
+        resolve: &dyn Fn(TweetId) -> Option<Arc<TweetFeatures>>,
+    ) -> UserState {
+        let model = match &snapshot.model {
+            UserModelSnapshot::Bag(profile) => UserModel::Bag(profile.clone()),
+            UserModelSnapshot::Graph(graph) => UserModel::Graph(Box::new(graph.clone())),
+        };
+        let window = snapshot
+            .window
+            .iter()
+            .filter_map(|e| {
+                let features = resolve(TweetId(e.tweet))?;
+                Some(WindowEntry { tweet: TweetId(e.tweet), at: e.at, features })
+            })
+            .collect();
+        UserState { model, window }
+    }
+
+    fn snapshot(&self, user: UserId) -> UserSnapshot {
+        let model = match &self.model {
+            UserModel::Bag(profile) => UserModelSnapshot::Bag(profile.clone()),
+            UserModel::Graph(graph) => UserModelSnapshot::Graph((**graph).clone()),
+        };
+        let window = self
+            .window
+            .iter()
+            .map(|e| WindowEntrySnapshot { tweet: e.tweet.0, at: e.at })
+            .collect();
+        UserSnapshot { user: user.0, model, window }
+    }
+}
+
+/// One shard's event loop: owns a partition of the user space and applies
+/// its FIFO message stream until the ingest side hangs up.
+pub(crate) struct ShardWorker {
+    config: EngineConfig,
+    users: BTreeMap<UserId, UserState>,
+    rx: Receiver<ShardMsg>,
+    reply: Sender<ShardReply>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        config: EngineConfig,
+        users: BTreeMap<UserId, UserState>,
+        rx: Receiver<ShardMsg>,
+        reply: Sender<ShardReply>,
+    ) -> ShardWorker {
+        ShardWorker { config, users, rx, reply }
+    }
+
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ShardMsg::Candidate { user, tweet, at, features } => {
+                    self.candidate(user, tweet, at, features);
+                }
+                ShardMsg::Observe { user, features } => self.observe(user, &features),
+                ShardMsg::Query { id, user, k, now } => {
+                    let rec = self.query(id, user, k, now);
+                    let _ = self.reply.send(ShardReply::Recommendation(rec));
+                }
+                ShardMsg::Snapshot => {
+                    let users = self.users.iter().map(|(u, s)| s.snapshot(*u)).collect();
+                    let _ = self.reply.send(ShardReply::SnapshotPart { users });
+                }
+            }
+        }
+    }
+
+    fn state(&mut self, user: UserId) -> &mut UserState {
+        let model = self.config.model;
+        self.users.entry(user).or_insert_with(|| UserState::new(model))
+    }
+
+    fn candidate(
+        &mut self,
+        user: UserId,
+        tweet: TweetId,
+        at: Timestamp,
+        features: Arc<TweetFeatures>,
+    ) {
+        let cap = self.config.window;
+        let state = self.state(user);
+        // A user can see the same original twice (e.g. via the author and
+        // via a retweeting followee); the first exposure wins.
+        if state.window.iter().any(|e| e.tweet == tweet) {
+            pmr_obs::counter_add("serve.window_duplicates", 1);
+            return;
+        }
+        state.window.push_back(WindowEntry { tweet, at, features });
+        while state.window.len() > cap {
+            state.window.pop_front();
+            pmr_obs::counter_add("serve.window_evictions", 1);
+        }
+    }
+
+    fn observe(&mut self, user: UserId, features: &Arc<TweetFeatures>) {
+        let state = self.state(user);
+        match (&mut state.model, features.as_ref()) {
+            (UserModel::Bag(profile), TweetFeatures::Bag(unit)) => profile.observe_unit(unit),
+            (UserModel::Graph(graph), TweetFeatures::Graph(grams)) => graph.observe(grams),
+            // Unreachable when the engine computes features from its own
+            // config; counted rather than panicking per the no-panic rule.
+            _ => pmr_obs::counter_add("serve.model_feature_mismatch", 1),
+        }
+    }
+
+    fn query(&mut self, id: u64, user: UserId, k: usize, now: Timestamp) -> Recommendation {
+        let _timer = pmr_obs::timer("serve.query");
+        let mut items: Vec<RecItem> = Vec::new();
+        let similarity = match self.config.model {
+            ServeModel::Bag { similarity, .. } => Some(similarity),
+            ServeModel::Graph { .. } => None,
+        };
+        if let Some(state) = self.users.get_mut(&user) {
+            let UserState { model, window } = state;
+            match model {
+                UserModel::Bag(profile) => {
+                    // One kernel per query amortizes the model-side
+                    // normalization over the whole window.
+                    if let Some(similarity) = similarity {
+                        let kernel = ScoringKernel::new(similarity, profile.vector());
+                        for e in window.iter().filter(|e| e.at <= now) {
+                            if let TweetFeatures::Bag(v) = e.features.as_ref() {
+                                items.push(RecItem { tweet: e.tweet.0, score: kernel.score(v) });
+                            }
+                        }
+                    }
+                }
+                UserModel::Graph(graph) => {
+                    for e in window.iter().filter(|e| e.at <= now) {
+                        if let TweetFeatures::Graph(grams) = e.features.as_ref() {
+                            items.push(RecItem { tweet: e.tweet.0, score: graph.score(grams) });
+                        }
+                    }
+                }
+            }
+        }
+        // Deterministic total order: best score first, ties broken by
+        // ascending tweet id. `total_cmp` keeps NaN-free floats total.
+        items.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.tweet.cmp(&b.tweet)));
+        items.truncate(k);
+        Recommendation { query: id, user: user.0, now, items }
+    }
+}
+
+impl std::fmt::Debug for ShardWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWorker")
+            .field("config", &self.config)
+            .field("users", &self.users.len())
+            .finish()
+    }
+}

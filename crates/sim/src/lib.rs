@@ -41,6 +41,7 @@ pub mod graph;
 pub mod interests;
 pub mod language;
 pub mod stats;
+pub mod stream;
 pub mod textgen;
 pub mod tweet;
 pub mod user;
@@ -51,6 +52,7 @@ pub use corpus::Corpus;
 pub use generate::generate_corpus;
 pub use graph::SocialGraph;
 pub use stats::{GroupStats, Table2};
+pub use stream::StreamEvent;
 pub use tweet::{Timestamp, Tweet, TweetId};
 pub use user::{User, UserId};
 pub use usertype::{partition_users, PostingRatio, UserGroup, UserType};

@@ -1,0 +1,89 @@
+//! Time-ordered event-stream export of a corpus.
+//!
+//! The batch experiments consume a corpus through per-user timeline views;
+//! an *online* consumer (the `pmr-serve` replay engine) instead wants the
+//! corpus as the event stream a production ingest pipeline would see: every
+//! post — original or retweet — in global arrival order. [`Corpus::
+//! event_stream`] flattens the tweet table into that stream, ordered by
+//! `(timestamp, tweet id)` so the order is total and identical on every
+//! run regardless of how the corpus was generated or filtered.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::tweet::{Timestamp, TweetId};
+use crate::user::UserId;
+
+/// One observed post in arrival order: either an original tweet or a
+/// retweet (`retweet_of` names the reposted original).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamEvent {
+    /// Arrival time of the post.
+    pub at: Timestamp,
+    /// The posted tweet (for a retweet, the repost itself — not the
+    /// original).
+    pub tweet: TweetId,
+    /// The posting user (for a retweet, the reposter).
+    pub author: UserId,
+    /// `Some(original)` when the post is a retweet.
+    pub retweet_of: Option<TweetId>,
+}
+
+impl Corpus {
+    /// Every post of the corpus as a single time-ordered event stream.
+    ///
+    /// Ties on the timestamp are broken by tweet id, making the order a
+    /// deterministic total order — the replay contract of `pmr-serve`
+    /// depends on every consumer observing the same sequence.
+    pub fn event_stream(&self) -> Vec<StreamEvent> {
+        let mut events: Vec<StreamEvent> = self
+            .tweets
+            .iter()
+            .map(|t| StreamEvent {
+                at: t.timestamp,
+                tweet: t.id,
+                author: t.author,
+                retweet_of: t.retweet_of,
+            })
+            .collect();
+        events.sort_by_key(|e| (e.at, e.tweet));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{ScalePreset, SimConfig};
+    use crate::generate::generate_corpus;
+
+    #[test]
+    fn stream_is_totally_ordered_and_complete() {
+        let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 7));
+        let stream = corpus.event_stream();
+        assert_eq!(stream.len(), corpus.len(), "every tweet appears exactly once");
+        for pair in stream.windows(2) {
+            assert!(
+                (pair[0].at, pair[0].tweet) < (pair[1].at, pair[1].tweet),
+                "stream order must be strictly increasing"
+            );
+        }
+        for e in &stream {
+            let t = corpus.tweet(e.tweet);
+            assert_eq!(t.author, e.author);
+            assert_eq!(t.retweet_of, e.retweet_of);
+            if let Some(orig) = e.retweet_of {
+                assert!(
+                    corpus.tweet(orig).timestamp <= e.at,
+                    "a retweet never precedes its original"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let a = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 11)).event_stream();
+        let b = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 11)).event_stream();
+        assert_eq!(a, b);
+    }
+}

@@ -44,3 +44,7 @@ pub use pmr_topics as topics;
 /// The recommendation framework: sources, splits, configurations,
 /// scoring, evaluation, baselines, experiments.
 pub use pmr_core as core;
+
+/// Online serving: sharded engine, deterministic stream replay,
+/// snapshot/restore.
+pub use pmr_serve as serve;

@@ -73,6 +73,79 @@ fn online_models_roundtrip_mid_stream() {
 }
 
 #[test]
+fn online_models_roundtrip_with_identical_scores_on_a_probe_set() {
+    // The serving engine's snapshot/restore contract reduces to this
+    // property: a deserialized model is *score-indistinguishable* from the
+    // original on any probe, for every similarity — not just well-behaved
+    // cosine. Exact equality on purpose: the JSON float encoding is
+    // shortest-round-trip, so nothing may drift by even an ulp.
+    let probes: Vec<Vec<String>> = ["cat dog", "rust bug code", "vet pet cat dog", "unseen words"]
+        .iter()
+        .map(|s| s.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    for similarity in
+        [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard]
+    {
+        let vectorizer = BagVectorizer::fit(WeightingScheme::TFIDF, docs().iter());
+        let mut model = OnlineBagModel::new(vectorizer, similarity, 0.8);
+        for d in docs() {
+            model.observe(&d);
+        }
+        let json = serde_json::to_string(&model).expect("serializes");
+        let back: OnlineBagModel = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.documents(), model.documents(), "document count must survive");
+        assert_eq!(back.model(), model.model(), "profile vector must survive bit-exactly");
+        for p in &probes {
+            assert_eq!(model.score(p), back.score(p), "{similarity:?} score drifted on {p:?}");
+        }
+    }
+    for similarity in
+        [GraphSimilarity::Containment, GraphSimilarity::Value, GraphSimilarity::NormalizedValue]
+    {
+        let mut model = OnlineGraphModel::new(similarity, 2);
+        for d in docs() {
+            model.observe(&d);
+        }
+        let json = serde_json::to_string(&model).expect("serializes");
+        let mut back: OnlineGraphModel = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.documents(), model.documents(), "document count must survive");
+        for p in &probes {
+            assert_eq!(model.score(p), back.score(p), "{similarity:?} score drifted on {p:?}");
+        }
+    }
+}
+
+#[test]
+fn serve_engine_snapshot_roundtrips_through_the_facade() {
+    use pmr::core::{PreparedCorpus, SplitConfig};
+    use pmr::serve::{EngineConfig, EngineSnapshot, Replay, ReplayOptions, ServeModel};
+    use pmr::sim::{generate_corpus, ScalePreset, SimConfig};
+
+    let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 9));
+    let prepared = PreparedCorpus::new(corpus, SplitConfig::default()).expect("well-formed");
+    let options = ReplayOptions {
+        config: EngineConfig {
+            model: ServeModel::Graph {
+                similarity: GraphSimilarity::Value,
+                char_grams: false,
+                n: 1,
+            },
+            window: 16,
+        },
+        ..ReplayOptions::default()
+    };
+    let mut replay = Replay::new(&prepared, options);
+    replay.run_to(replay.stream_len() / 2);
+    let snapshot = replay.snapshot();
+    let _ = replay.finish();
+    let wire = snapshot.to_jsonl().expect("serializes");
+    let back = EngineSnapshot::from_jsonl(&wire).expect("parses");
+    assert_eq!(back.to_jsonl().expect("re-serializes"), wire, "JSONL must be byte-stable");
+    assert_eq!(back.header, snapshot.header);
+    assert_eq!(back.users.len(), snapshot.users.len());
+}
+
+#[test]
 fn simulated_corpus_roundtrips() {
     use pmr::sim::{generate_corpus, Corpus, ScalePreset, SimConfig};
     let corpus = generate_corpus(&SimConfig::preset(ScalePreset::Smoke, 5));

@@ -1,7 +1,9 @@
 //! Offline stand-in for `crossbeam`, providing the piece this workspace
-//! uses: [`channel`], a multi-producer multi-consumer unbounded channel.
+//! uses: [`channel`], a multi-producer multi-consumer channel in both
+//! unbounded and bounded (backpressure-capable) flavors.
 //! Both [`channel::Sender`] and [`channel::Receiver`] are cloneable;
-//! receivers block until a message arrives or every sender is dropped.
+//! receivers block until a message arrives or every sender is dropped, and
+//! senders on a bounded channel block until the queue has room.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -11,6 +13,10 @@ pub mod channel {
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue drains below capacity.
+        vacant: Condvar,
+        /// `usize::MAX` marks an unbounded channel.
+        capacity: usize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -35,6 +41,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// `try_send` outcomes on a bounded channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the message is handed back.
+        Full(T),
+        /// All receivers were dropped; the message is handed back.
+        Disconnected(T),
+    }
+
     /// `try_recv` outcomes.
     #[derive(Debug, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -50,24 +65,60 @@ pub mod channel {
         }
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn new_chan<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            vacant: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(usize::MAX)
+    }
+
+    /// Create a bounded MPMC channel holding at most `capacity` messages
+    /// (`capacity` ≥ 1). [`Sender::send`] blocks while the queue is full;
+    /// [`Sender::try_send`] returns [`TrySendError::Full`] instead.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(capacity.max(1))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue a message, failing if every receiver is gone.
+        /// Enqueue a message, failing if every receiver is gone. On a
+        /// bounded channel this blocks until the queue has room.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             if self.chan.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(msg));
             }
             let mut queue = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while queue.len() >= self.chan.capacity {
+                if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                queue = self.chan.vacant.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking enqueue: hands the message back when the queue is
+        /// at capacity or every receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut queue = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.chan.capacity {
+                return Err(TrySendError::Full(msg));
+            }
             queue.push_back(msg);
             drop(queue);
             self.chan.ready.notify_one();
@@ -98,6 +149,8 @@ pub mod channel {
             let mut queue = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.chan.vacant.notify_one();
                     return Ok(msg);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -111,6 +164,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.chan.vacant.notify_one();
                 return Ok(msg);
             }
             if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -135,7 +190,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders blocked on a full queue so
+                // they can observe the disconnect.
+                self.chan.vacant.notify_all();
+            }
         }
     }
 
@@ -190,6 +249,62 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded::<u8>(2);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Ok(()));
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (tx, rx) = bounded::<usize>(1);
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let mut got = Vec::new();
+                for _ in 0..100 {
+                    got.push(rx.recv().unwrap());
+                }
+                handle.join().unwrap();
+                assert_eq!(got, (0..100).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn bounded_send_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(move || tx.send(2));
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(rx);
+                assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+            });
+        }
+
+        #[test]
+        fn bounded_preserves_fifo_order() {
+            let (tx, rx) = bounded::<usize>(4);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let got: Vec<usize> = rx.iter().collect();
+                assert_eq!(got, (0..50).collect::<Vec<_>>());
+            });
         }
     }
 }
