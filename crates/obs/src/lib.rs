@@ -25,11 +25,13 @@
 mod clock;
 mod journal;
 mod metrics;
+pub mod process;
 mod recorder;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use journal::{Field, Journal};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS_US};
+pub use process::{current_rss_bytes, peak_rss_bytes};
 pub use recorder::{
     active, counter_add, event, flush, gauge_set, install, now, observe_duration, snapshot, span,
     timer, uninstall, Recorder, SpanGuard, TimerGuard,

@@ -1,0 +1,65 @@
+//! Process-level resource introspection for scale benchmarks.
+//!
+//! The scale pipeline's acceptance criterion is *memory*, not just time:
+//! streaming generation must hold peak RSS far below the materialized
+//! corpus. Rust has no portable peak-RSS API, so this module reads the
+//! kernel's accounting from `/proc/self/status` on Linux and degrades to
+//! `None` elsewhere — callers (the `bench_scale` bin, the `scale-smoke`
+//! CI gate) treat a missing reading as "not measurable here", never as
+//! zero.
+
+/// Peak resident set size (`VmHWM`) of the current process, in bytes.
+///
+/// This is a high-water mark: it never decreases, so a benchmark that
+/// wants per-phase peaks must isolate each phase in its own process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_field("VmHWM:")
+}
+
+/// Current resident set size (`VmRSS`) of the current process, in bytes.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_field("VmRSS:")
+}
+
+/// Read a `kB`-denominated field from `/proc/self/status`.
+fn proc_status_field(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_field(&status, field)
+}
+
+fn parse_status_field(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line[field.len()..].trim().trim_end_matches(" kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_lines() {
+        let status = "Name:\tbench\nVmHWM:\t  123456 kB\nVmRSS:\t     789 kB\n";
+        assert_eq!(parse_status_field(status, "VmHWM:"), Some(123_456 * 1024));
+        assert_eq!(parse_status_field(status, "VmRSS:"), Some(789 * 1024));
+        assert_eq!(parse_status_field(status, "VmPeak:"), None);
+    }
+
+    #[test]
+    fn malformed_fields_are_none() {
+        assert_eq!(parse_status_field("VmHWM:\tnonsense kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_field("", "VmHWM:"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_plausible_rss() {
+        let peak = peak_rss_bytes().expect("/proc/self/status has VmHWM on Linux");
+        let current = current_rss_bytes().expect("/proc/self/status has VmRSS on Linux");
+        // A test runner resident in under 256 KiB or over 1 TiB is not a
+        // plausible reading.
+        assert!(peak > 256 * 1024 && peak < 1 << 40);
+        assert!(current > 256 * 1024 && current < 1 << 40);
+        assert!(peak >= current / 2, "peak should be on the order of current");
+    }
+}

@@ -1,0 +1,312 @@
+//! Streaming ingest: drive an [`Engine`] directly from a
+//! [`pmr_sim::StreamGenerator`] — no materialized corpus anywhere.
+//!
+//! [`crate::Replay`] needs the whole corpus in memory (tweets, prepared
+//! gram tables, a dense feature vector per original). That is the right
+//! trade at paper scale and a non-starter at the ROADMAP's 10^5–10^6
+//! users. This adapter instead consumes the generator's timestamp-ordered
+//! chunks as they are rendered:
+//!
+//! * chunks are rendered **in parallel** over
+//!   [`pmr_core::executor::run_tasks`] in windows of `jobs`, and consumed
+//!   in chunk order — `run_tasks` returns results in input order, so the
+//!   engine always sees the exact global event stream regardless of
+//!   worker count;
+//! * features are computed inside the worker from each record's own text
+//!   (for a retweet, from the carried original text), so peak memory is
+//!   one window of rendered chunks rather than a corpus-wide feature
+//!   table;
+//! * the engine calls per event are the same as replay's: originals fan
+//!   out to the author's followers, retweets are observed by the reposter
+//!   and fan the *original* out to the reposter's audience, and every
+//!   `query_every` events the next evaluated user (round-robin) is asked
+//!   for their top-k.
+//!
+//! **Model restriction.** Only [`ServeModel::Graph`] is streamable: bag
+//! models need an [`pmr_bag::IndexedVectorizer`] fitted on the *whole*
+//! corpus vocabulary, which contradicts single-pass constant-memory
+//! ingest. [`ingest_stream`] rejects bag configs with a clear error.
+//!
+//! **Featurization difference vs. replay.** Replay's token grams pass
+//! through the corpus-fitted stop-word filter
+//! ([`pmr_core::PreparedCorpus`]); a streaming consumer has no corpus to
+//! fit that filter on, so token grams here are built from the unfiltered
+//! token stream. Char grams (`char_grams: true`) are computed identically
+//! in both paths — lower-cased raw text — which is what the
+//! ingest-vs-replay equivalence test pins.
+
+use std::sync::Arc;
+
+use pmr_core::executor::run_tasks;
+use pmr_core::{PmrError, PmrResult};
+use pmr_sim::scale::IngestRecord;
+use pmr_sim::{StreamGenerator, UserId};
+use pmr_text::{char_ngrams, token_ngrams, Tokenizer};
+
+use crate::config::{EngineConfig, RuntimeOptions, ServeModel};
+use crate::engine::Engine;
+use crate::shard::{Recommendation, TweetFeatures};
+
+/// Everything a streaming ingest run needs beyond the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestOptions {
+    /// The engine's semantic configuration (graph models only).
+    pub config: EngineConfig,
+    /// Shard and queue sizing (must not affect output).
+    pub runtime: RuntimeOptions,
+    /// Top-k size of issued queries.
+    pub k: usize,
+    /// Issue one query every this many events (0 disables querying).
+    pub query_every: usize,
+    /// Worker threads rendering + featurizing chunks (must not affect
+    /// output).
+    pub jobs: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            config: EngineConfig {
+                model: ServeModel::Graph {
+                    similarity: pmr_graph::GraphSimilarity::Value,
+                    char_grams: true,
+                    n: 3,
+                },
+                window: 128,
+            },
+            runtime: RuntimeOptions::default(),
+            k: 10,
+            query_every: 25,
+            jobs: 1,
+        }
+    }
+}
+
+/// The result of a completed streaming ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestOutcome {
+    /// Every answered query, in query-id order.
+    pub recommendations: Vec<Recommendation>,
+    /// Stream events ingested.
+    pub events: u64,
+    /// Queries issued.
+    pub queries: u64,
+}
+
+/// Gram features of one tweet text under a (graph) serving model.
+fn featurize(model: ServeModel, text: &str) -> TweetFeatures {
+    let grams = if model.char_grams() {
+        char_ngrams(&text.to_lowercase(), model.n())
+    } else {
+        let tokens: Vec<String> =
+            Tokenizer::default().tokenize(text).into_iter().map(|t| t.text).collect();
+        token_ngrams(&tokens, model.n())
+    };
+    TweetFeatures::Graph(grams)
+}
+
+/// Drive `gen`'s full event stream through a fresh engine and collect the
+/// recommendations. Output is a pure function of the generator and
+/// [`EngineConfig`]; `jobs`, `shards` and `queue_capacity` are mechanical.
+pub fn ingest_stream(gen: &StreamGenerator, options: IngestOptions) -> PmrResult<IngestOutcome> {
+    let model = options.config.model;
+    if matches!(model, ServeModel::Bag { .. }) {
+        return Err(PmrError::invariant(
+            "streaming ingest supports graph models only: bag models need a vectorizer \
+             fitted on the full corpus vocabulary, which a single-pass stream cannot provide",
+        ));
+    }
+    let followers = gen.build_followers();
+    let eval_users: Vec<UserId> = gen.evaluated_user_ids().collect();
+    let jobs = options.jobs.max(1);
+    let mut engine = Engine::start(options.config, options.runtime);
+    let mut position = 0usize;
+
+    let num_chunks = gen.num_chunks();
+    let mut window_start = 0usize;
+    while window_start < num_chunks {
+        let window: Vec<usize> = (window_start..(window_start + jobs).min(num_chunks)).collect();
+        window_start += window.len();
+        // Render + featurize this window in parallel; results come back in
+        // chunk order, so consumption below is the global stream order.
+        let rendered: Vec<Vec<(IngestRecord, Arc<TweetFeatures>)>> =
+            run_tasks(window, jobs, |_, chunk| {
+                gen.render_chunk(chunk)
+                    .into_iter()
+                    .map(|rec| {
+                        let text = rec.origin_text.as_deref().unwrap_or(&rec.text);
+                        let features = Arc::new(featurize(model, text));
+                        (rec, features)
+                    })
+                    .collect()
+            });
+        for (rec, features) in rendered.into_iter().flatten() {
+            let event = rec.event;
+            pmr_obs::counter_add("serve.events", 1);
+            match event.retweet_of {
+                None => {
+                    for &follower in &followers[event.author.index()] {
+                        engine.post_candidate(follower, event.tweet, event.at, &features);
+                    }
+                }
+                Some(original) => {
+                    // `features` is the original's (built from the carried
+                    // origin text); the repost surfaces the original to the
+                    // reposter's audience at the repost's time.
+                    engine.observe(event.author, &features);
+                    for &follower in &followers[event.author.index()] {
+                        engine.post_candidate(follower, original, event.at, &features);
+                    }
+                }
+            }
+            position += 1;
+            if options.query_every > 0
+                && position.is_multiple_of(options.query_every)
+                && !eval_users.is_empty()
+            {
+                let issued = engine.queries_issued() as usize;
+                let user = eval_users[issued % eval_users.len()];
+                engine.query(user, options.k, event.at);
+            }
+        }
+    }
+
+    let queries = engine.queries_issued();
+    let recommendations = engine.finish();
+    Ok(IngestOutcome { recommendations, events: position as u64, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{rec_log, Replay, ReplayOptions};
+    use pmr_core::{PreparedCorpus, SplitConfig};
+    use pmr_sim::ScaleConfig;
+
+    fn graph_config() -> EngineConfig {
+        EngineConfig {
+            model: ServeModel::Graph {
+                similarity: pmr_graph::GraphSimilarity::Value,
+                char_grams: true,
+                n: 3,
+            },
+            window: 64,
+        }
+    }
+
+    fn smoke_gen(seed: u64) -> StreamGenerator {
+        StreamGenerator::plan(ScaleConfig::smoke(seed))
+    }
+
+    fn run(gen: &StreamGenerator, options: IngestOptions) -> IngestOutcome {
+        ingest_stream(gen, options).expect("graph model ingest succeeds")
+    }
+
+    #[test]
+    fn bag_models_are_rejected() {
+        let gen = smoke_gen(1);
+        let options = IngestOptions {
+            config: EngineConfig {
+                model: ServeModel::Bag {
+                    weighting: pmr_bag::WeightingScheme::TF,
+                    similarity: pmr_bag::BagSimilarity::Cosine,
+                    char_grams: false,
+                    n: 1,
+                    decay: 1.0,
+                },
+                window: 64,
+            },
+            ..IngestOptions::default()
+        };
+        assert!(ingest_stream(&gen, options).is_err());
+    }
+
+    #[test]
+    fn jobs_never_change_the_recommendation_log() {
+        let gen = smoke_gen(5);
+        let base = IngestOptions { config: graph_config(), ..IngestOptions::default() };
+        let serial = run(&gen, IngestOptions { jobs: 1, ..base });
+        let parallel = run(&gen, IngestOptions { jobs: 4, ..base });
+        assert!(serial.queries > 0);
+        assert_eq!(
+            rec_log(&serial.recommendations).unwrap(),
+            rec_log(&parallel.recommendations).unwrap()
+        );
+    }
+
+    #[test]
+    fn shard_layout_never_changes_the_recommendation_log() {
+        let gen = smoke_gen(9);
+        let base = IngestOptions { config: graph_config(), jobs: 2, ..IngestOptions::default() };
+        let one = run(
+            &gen,
+            IngestOptions { runtime: RuntimeOptions { shards: 1, queue_capacity: 64 }, ..base },
+        );
+        let four = run(
+            &gen,
+            IngestOptions { runtime: RuntimeOptions { shards: 4, queue_capacity: 64 }, ..base },
+        );
+        assert!(one.queries > 0);
+        assert_eq!(rec_log(&one.recommendations).unwrap(), rec_log(&four.recommendations).unwrap());
+    }
+
+    #[test]
+    fn ingest_agrees_with_replay_on_the_materialized_corpus() {
+        // Char-gram features are computed identically by streaming ingest
+        // and by the prepared-corpus replay path (token grams differ by the
+        // corpus-fitted stop filter, so they are not comparable). With the
+        // same event order, fan-out graph, and query schedule, the two
+        // paths must produce byte-identical recommendation logs.
+        let gen = smoke_gen(42);
+        let config = graph_config();
+        let k = 10;
+        let query_every = 25;
+        let streamed = run(
+            &gen,
+            IngestOptions { config, k, query_every, jobs: 2, ..IngestOptions::default() },
+        );
+        let prepared = PreparedCorpus::new(gen.materialize(), SplitConfig::default())
+            .expect("materialized corpus is well-formed");
+        let replayed = Replay::run(
+            &prepared,
+            ReplayOptions { config, runtime: RuntimeOptions::default(), k, query_every, jobs: 1 },
+        );
+        assert_eq!(streamed.events, replayed.events);
+        assert_eq!(streamed.queries, replayed.queries);
+        assert!(streamed.queries > 0);
+        assert_eq!(
+            rec_log(&streamed.recommendations).unwrap(),
+            rec_log(&replayed.recommendations).unwrap()
+        );
+    }
+
+    #[test]
+    fn celebrity_fan_out_trips_backpressure_deterministically() {
+        // A power-law graph concentrates fan-out on the celebrity shard; a
+        // tiny queue must trip the backpressure (block-and-retry) path,
+        // and blocking must not change a byte of output across layouts.
+        let gen = smoke_gen(13);
+        let base = IngestOptions { config: graph_config(), ..IngestOptions::default() };
+        let logs: Vec<String> = [1usize, 2, 5]
+            .into_iter()
+            .map(|shards| {
+                let _ = pmr_obs::install(pmr_obs::Recorder::monotonic());
+                let outcome = run(
+                    &gen,
+                    IngestOptions { runtime: RuntimeOptions { shards, queue_capacity: 2 }, ..base },
+                );
+                let metrics = pmr_obs::snapshot().expect("recorder is installed");
+                assert!(
+                    metrics.counter("serve.backpressure") > 0,
+                    "queue_capacity=2 under celebrity fan-out must hit backpressure \
+                     (shards={shards})"
+                );
+                let _ = pmr_obs::uninstall();
+                rec_log(&outcome.recommendations).unwrap()
+            })
+            .collect();
+        assert!(!logs[0].is_empty());
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[0], logs[2]);
+    }
+}

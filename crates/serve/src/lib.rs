@@ -52,12 +52,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod ingest;
 pub mod replay;
 pub mod shard;
 pub mod snapshot;
 
 pub use config::{EngineConfig, RuntimeOptions, ServeModel};
 pub use engine::Engine;
+pub use ingest::{ingest_stream, IngestOptions, IngestOutcome};
 pub use replay::{rec_log, Replay, ReplayOptions, ReplayOutcome};
 pub use shard::{RecItem, Recommendation, TweetFeatures};
 pub use snapshot::{

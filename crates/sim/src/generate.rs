@@ -41,7 +41,7 @@ pub fn generate_corpus(cfg: &SimConfig) -> Corpus {
     Corpus { config: cfg.clone(), users, tweets, graph, originals, retweets }
 }
 
-fn build_language_models(rng: &mut StdRng, cfg: &SimConfig) -> Vec<LanguageModel> {
+pub(crate) fn build_language_models(rng: &mut StdRng, cfg: &SimConfig) -> Vec<LanguageModel> {
     cfg.language_mix
         .iter()
         .map(|&(lang, _)| {
@@ -58,15 +58,15 @@ fn build_language_models(rng: &mut StdRng, cfg: &SimConfig) -> Vec<LanguageModel
         .collect()
 }
 
-fn model_for(models: &[LanguageModel], lang: Language) -> &LanguageModel {
+pub(crate) fn model_for(models: &[LanguageModel], lang: Language) -> &LanguageModel {
     models.iter().find(|m| m.language == lang).unwrap_or(&models[0])
 }
 
-fn style_tokens(rng: &mut StdRng, lang: pmr_text::Language) -> Vec<String> {
+pub(crate) fn style_tokens(rng: &mut StdRng, lang: pmr_text::Language) -> Vec<String> {
     (0..rng.gen_range(2..=4)).map(|_| synth_word(rng, lang)).collect()
 }
 
-fn chatter_topics(rng: &mut StdRng, num_topics: usize) -> Vec<usize> {
+pub(crate) fn chatter_topics(rng: &mut StdRng, num_topics: usize) -> Vec<usize> {
     (0..rng.gen_range(2..=3)).map(|_| rng.gen_range(0..num_topics)).collect()
 }
 
@@ -130,7 +130,7 @@ fn build_users(rng: &mut StdRng, cfg: &SimConfig) -> Vec<User> {
     users
 }
 
-fn sample_language(rng: &mut StdRng, cfg: &SimConfig) -> Language {
+pub(crate) fn sample_language(rng: &mut StdRng, cfg: &SimConfig) -> Language {
     let total: f64 = cfg.language_mix.iter().map(|&(_, w)| w).sum();
     let mut x = rng.gen_range(0.0..total);
     for &(lang, w) in &cfg.language_mix {
@@ -299,7 +299,7 @@ fn generate_retweets(
 /// log-normal factor that makes users repeatedly repost the same few
 /// accounts, as real users do. Derived from a hash so it is stable across
 /// the whole generation pass.
-fn affinity(cfg: &SimConfig, reader: UserId, author: UserId) -> f64 {
+pub(crate) fn affinity(cfg: &SimConfig, reader: UserId, author: UserId) -> f64 {
     if cfg.author_affinity_sigma == 0.0 {
         return 1.0;
     }
@@ -317,7 +317,7 @@ fn affinity(cfg: &SimConfig, reader: UserId, author: UserId) -> f64 {
 
 /// Weighted sampling without replacement (Efraimidis–Spirakis): draw `k`
 /// items with probability proportional to `weights`, via keys `u^(1/w)`.
-fn weighted_sample_without_replacement(
+pub(crate) fn weighted_sample_without_replacement(
     rng: &mut StdRng,
     items: &[usize],
     weights: &[f64],
@@ -338,7 +338,10 @@ fn weighted_sample_without_replacement(
     keyed.into_iter().map(|(_, item)| item).collect()
 }
 
-fn index_timelines(users: &[User], tweets: &[Tweet]) -> (Vec<Vec<TweetId>>, Vec<Vec<TweetId>>) {
+pub(crate) fn index_timelines(
+    users: &[User],
+    tweets: &[Tweet],
+) -> (Vec<Vec<TweetId>>, Vec<Vec<TweetId>>) {
     let mut originals = vec![Vec::new(); users.len()];
     let mut retweets = vec![Vec::new(); users.len()];
     for t in tweets {

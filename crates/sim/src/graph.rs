@@ -8,6 +8,8 @@
 //! until her feed carries the traffic she wants to consume). Posting ratios
 //! (and therefore the IS/BU/IP partition) emerge from the volume targets.
 
+use std::collections::HashSet;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -16,17 +18,48 @@ use serde::{Deserialize, Serialize};
 use crate::interests::cosine;
 use crate::user::{User, UserId};
 
+/// Out-degree at which a node's followee list gains a hash-set index.
+/// Below this, a linear scan of the adjacency `Vec` is faster than hashing;
+/// above it, the index keeps [`SocialGraph::follows`] and the
+/// [`SocialGraph::add_edge`] dedup check O(1) instead of O(degree) — the
+/// difference between linear and quadratic edge insertion for celebrity
+/// accounts with ~10^5 followees.
+const INDEX_THRESHOLD: usize = 8;
+
 /// Directed follow edges stored in both orientations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SocialGraph {
     followees: Vec<Vec<UserId>>,
     followers: Vec<Vec<UserId>>,
+    /// Lazily allocated per-node followee index (only for nodes whose
+    /// out-degree crossed [`INDEX_THRESHOLD`]). Derived state: rebuilt on
+    /// deserialization, never serialized, and only ever probed with
+    /// `contains`/`insert`/`remove` — iteration order must not matter.
+    index: Vec<Option<HashSet<UserId>>>,
 }
 
 impl SocialGraph {
     /// An empty graph over `n` users.
     pub fn with_users(n: usize) -> Self {
-        SocialGraph { followees: vec![Vec::new(); n], followers: vec![Vec::new(); n] }
+        SocialGraph {
+            followees: vec![Vec::new(); n],
+            followers: vec![Vec::new(); n],
+            index: vec![None; n],
+        }
+    }
+
+    /// Assemble a graph directly from both adjacency orientations (the
+    /// deserialization path and the scale pipeline's CSR import).
+    /// `followers` must be the exact transpose of `followees`.
+    pub(crate) fn from_adjacency(followees: Vec<Vec<UserId>>, followers: Vec<Vec<UserId>>) -> Self {
+        let index = followees
+            .iter()
+            .map(|list| {
+                (list.len() >= INDEX_THRESHOLD)
+                    .then(|| list.iter().copied().collect::<HashSet<UserId>>())
+            })
+            .collect();
+        SocialGraph { followees, followers, index }
     }
 
     /// Number of users.
@@ -56,9 +89,13 @@ impl SocialGraph {
         self.followees[u.index()].iter().copied().filter(|v| fers.contains(v)).collect()
     }
 
-    /// Whether the edge `a → b` exists.
+    /// Whether the edge `a → b` exists. O(1) for indexed (high out-degree)
+    /// nodes, O(degree) linear scan below [`INDEX_THRESHOLD`].
     pub fn follows(&self, a: UserId, b: UserId) -> bool {
-        self.followees[a.index()].contains(&b)
+        match &self.index[a.index()] {
+            Some(set) => set.contains(&b),
+            None => self.followees[a.index()].contains(&b),
+        }
     }
 
     /// Insert the edge `a → b` (idempotent; self-loops rejected).
@@ -68,12 +105,25 @@ impl SocialGraph {
         }
         self.followees[a.index()].push(b);
         self.followers[b.index()].push(a);
+        match &mut self.index[a.index()] {
+            Some(set) => {
+                set.insert(b);
+            }
+            slot => {
+                if self.followees[a.index()].len() >= INDEX_THRESHOLD {
+                    *slot = Some(self.followees[a.index()].iter().copied().collect());
+                }
+            }
+        }
     }
 
     /// Remove the edge `a → b` if present.
     pub fn remove_edge(&mut self, a: UserId, b: UserId) {
         self.followees[a.index()].retain(|&v| v != b);
         self.followers[b.index()].retain(|&v| v != a);
+        if let Some(set) = &mut self.index[a.index()] {
+            set.remove(&b);
+        }
     }
 
     /// Total number of directed edges.
@@ -202,6 +252,34 @@ impl SocialGraph {
     }
 }
 
+// Manual serde keeps the wire format identical to the original two-field
+// derive — the followee index is derived state and is rebuilt on load.
+impl Serialize for SocialGraph {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("followees".to_owned(), self.followees.serialize()),
+            ("followers".to_owned(), self.followers.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for SocialGraph {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::value::expect_object(v, "SocialGraph")?;
+        let followees = Vec::<Vec<UserId>>::deserialize(serde::value::expect_field(
+            obj,
+            "followees",
+            "SocialGraph",
+        )?)?;
+        let followers = Vec::<Vec<UserId>>::deserialize(serde::value::expect_field(
+            obj,
+            "followers",
+            "SocialGraph",
+        )?)?;
+        Ok(SocialGraph::from_adjacency(followees, followers))
+    }
+}
+
 /// Score every other user as a followee candidate for user `i`:
 /// interest homophily + a follow-back bonus + uniform jitter, sorted
 /// descending.
@@ -291,6 +369,67 @@ mod tests {
         g.add_edge(UserId(1), UserId(0));
         g.add_edge(UserId(0), UserId(2));
         assert_eq!(g.reciprocal(UserId(0)), vec![UserId(1)]);
+    }
+
+    #[test]
+    fn celebrity_edge_insertion_is_near_linear() {
+        // Regression guard for the O(deg) `Vec::contains` dedup that made
+        // edge insertion quadratic: 10^5 edges out of (and into) one node
+        // finished in ~tens of milliseconds with the hash index, versus
+        // minutes with the linear scan. The generous bound only trips on a
+        // quadratic regression, not on a slow machine.
+        const N: u32 = 100_000;
+        let mut g = SocialGraph::with_users(N as usize + 1);
+        let celeb = UserId(0);
+        // pmr-lint: allow(wall-clock): measuring insertion complexity is this test's purpose
+        let start = std::time::Instant::now();
+        for i in 1..=N {
+            g.add_edge(UserId(i), celeb); // fan-in
+            g.add_edge(celeb, UserId(i)); // fan-out (the quadratic direction)
+        }
+        assert_eq!(g.followers(celeb).len(), N as usize);
+        assert_eq!(g.followees(celeb).len(), N as usize);
+        assert!(g.follows(celeb, UserId(N)));
+        assert!(!g.follows(celeb, celeb));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed.as_secs() < 10,
+            "2x10^5 celebrity edges took {elapsed:?}; insertion has gone superlinear"
+        );
+    }
+
+    #[test]
+    fn indexed_and_scanned_nodes_agree_after_removal() {
+        // Cross the index threshold, then remove edges: `follows` must stay
+        // consistent between the indexed node and an unindexed one.
+        let mut g = SocialGraph::with_users(40);
+        for i in 1..30 {
+            g.add_edge(UserId(0), UserId(i));
+        }
+        g.add_edge(UserId(1), UserId(2));
+        g.remove_edge(UserId(0), UserId(7));
+        g.remove_edge(UserId(1), UserId(2));
+        assert!(!g.follows(UserId(0), UserId(7)));
+        assert!(!g.follows(UserId(1), UserId(2)));
+        assert!(g.follows(UserId(0), UserId(8)));
+        g.add_edge(UserId(0), UserId(7));
+        assert!(g.follows(UserId(0), UserId(7)));
+        assert_eq!(g.followees(UserId(0)).len(), 29);
+    }
+
+    #[test]
+    fn serialization_round_trips_and_rebuilds_the_index() {
+        let users = mk_users(25, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = SocialGraph::build(&mut rng, &users);
+        let back = SocialGraph::deserialize(&g.serialize()).expect("round trip");
+        for u in &users {
+            assert_eq!(g.followees(u.id), back.followees(u.id));
+            assert_eq!(g.followers(u.id), back.followers(u.id));
+            for v in &users {
+                assert_eq!(g.follows(u.id, v.id), back.follows(u.id, v.id));
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod generate;
 pub mod graph;
 pub mod interests;
 pub mod language;
+pub mod scale;
 pub mod stats;
 pub mod stream;
 pub mod textgen;
@@ -51,8 +52,9 @@ pub use config::{ScalePreset, SimConfig};
 pub use corpus::Corpus;
 pub use generate::generate_corpus;
 pub use graph::SocialGraph;
+pub use scale::{GraphShape, IngestRecord, ScaleConfig, StreamGenerator};
 pub use stats::{GroupStats, Table2};
 pub use stream::StreamEvent;
 pub use tweet::{Timestamp, Tweet, TweetId};
 pub use user::{User, UserId};
-pub use usertype::{partition_users, PostingRatio, UserGroup, UserType};
+pub use usertype::{partition_ratios, partition_users, PostingRatio, UserGroup, UserType};

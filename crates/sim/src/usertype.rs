@@ -86,11 +86,12 @@ pub struct PostingRatio {
 }
 
 /// The measured partition of a corpus into experiment groups.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Partition {
-    /// The 20 lowest-ratio users.
+    /// The lowest-ratio third of evaluated users (20 at the paper's shape).
     pub is: Vec<UserId>,
-    /// The 20 users with ratios closest to 1 (after removing IS).
+    /// The third with ratios closest to 1, after removing IS (20 at the
+    /// paper's shape).
     pub bu: Vec<UserId>,
     /// Users with ratio > 2 (after removing IS and BU).
     pub ip: Vec<UserId>,
@@ -98,9 +99,23 @@ pub struct Partition {
     pub rest: Vec<UserId>,
     /// Measured ratios for every user.
     pub ratios: Vec<PostingRatio>,
+    /// O(1) lookup behind [`Partition::ratio_of`]. Derived from `ratios`:
+    /// rebuilt on deserialization, never serialized, probed only with `get`.
+    ratio_index: std::collections::HashMap<UserId, f64>,
 }
 
 impl Partition {
+    /// Assemble a partition, building the ratio lookup index.
+    fn from_groups(
+        is: Vec<UserId>,
+        bu: Vec<UserId>,
+        ip: Vec<UserId>,
+        rest: Vec<UserId>,
+        ratios: Vec<PostingRatio>,
+    ) -> Partition {
+        let ratio_index = ratios.iter().map(|r| (r.user, r.ratio)).collect();
+        Partition { is, bu, ip, rest, ratios, ratio_index }
+    }
     /// The members of an experiment group, in stable (id) order.
     pub fn members(&self, group: UserGroup) -> Vec<UserId> {
         let mut m = match group {
@@ -127,34 +142,73 @@ impl Partition {
     /// The measured ratio of a user. Returns 0 for a user outside the
     /// partitioned corpus (a caller bug, but not worth a panic).
     pub fn ratio_of(&self, u: UserId) -> f64 {
-        self.ratios.iter().find(|r| r.user == u).map(|r| r.ratio).unwrap_or(0.0)
+        self.ratio_index.get(&u).copied().unwrap_or(0.0)
+    }
+}
+
+// Manual serde keeps the wire format identical to the original five-field
+// derive — the ratio index is derived state and is rebuilt on load.
+impl Serialize for Partition {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("is".to_owned(), self.is.serialize()),
+            ("bu".to_owned(), self.bu.serialize()),
+            ("ip".to_owned(), self.ip.serialize()),
+            ("rest".to_owned(), self.rest.serialize()),
+            ("ratios".to_owned(), self.ratios.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Partition {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::value::expect_object(v, "Partition")?;
+        let field = |name: &str| serde::value::expect_field(obj, name, "Partition");
+        Ok(Partition::from_groups(
+            Vec::deserialize(field("is")?)?,
+            Vec::deserialize(field("bu")?)?,
+            Vec::deserialize(field("ip")?)?,
+            Vec::deserialize(field("rest")?)?,
+            Vec::deserialize(field("ratios")?)?,
+        ))
     }
 }
 
 /// Apply the paper's group-selection procedure (§4) to a corpus. Only the
 /// evaluated users participate; background users merely shape the graph.
 pub fn partition_users(corpus: &Corpus) -> Partition {
-    let mut ratios: Vec<PostingRatio> = corpus
+    let ratios: Vec<PostingRatio> = corpus
         .evaluated_user_ids()
         .map(|u| PostingRatio { user: u, ratio: corpus.posting_ratio(u) })
         .collect();
+    partition_ratios(ratios)
+}
+
+/// The paper's group-selection procedure over measured posting ratios.
+///
+/// The named groups each take one third of the evaluated population — the
+/// paper's 20 IS + 20 BU out of 60, generalized as fractions so the same
+/// procedure scales to arbitrarily sized corpora instead of silently
+/// misclassifying everyone past the first 60 users.
+pub fn partition_ratios(mut ratios: Vec<PostingRatio>) -> Partition {
+    let group = ratios.len() / 3;
     ratios.sort_by(|a, b| a.ratio.total_cmp(&b.ratio).then(a.user.cmp(&b.user)));
-    let is: Vec<UserId> = ratios.iter().take(20).map(|r| r.user).collect();
-    let mut remaining: Vec<PostingRatio> = ratios.iter().skip(20).copied().collect();
+    let is: Vec<UserId> = ratios.iter().take(group).map(|r| r.user).collect();
+    let mut remaining: Vec<PostingRatio> = ratios.iter().skip(group).copied().collect();
     remaining.sort_by(|a, b| {
         (a.ratio - 1.0).abs().total_cmp(&(b.ratio - 1.0).abs()).then(a.user.cmp(&b.user))
     });
-    let bu: Vec<UserId> = remaining.iter().take(20).map(|r| r.user).collect();
+    let bu: Vec<UserId> = remaining.iter().take(group).map(|r| r.user).collect();
     let mut ip = Vec::new();
     let mut rest = Vec::new();
-    for r in remaining.iter().skip(20) {
+    for r in remaining.iter().skip(group) {
         if r.ratio > 2.0 {
             ip.push(r.user);
         } else {
             rest.push(r.user);
         }
     }
-    Partition { is, bu, ip, rest, ratios }
+    Partition::from_groups(is, bu, ip, rest, ratios)
 }
 
 #[cfg(test)]
@@ -192,6 +246,69 @@ mod tests {
         assert!(agree(&p.is, 0) >= 18, "IS: {}", agree(&p.is, 0));
         assert!(agree(&p.bu, 1) >= 13, "BU: {}", agree(&p.bu, 1));
         assert!(agree(&p.ip, 2) >= p.ip.len().saturating_sub(2));
+    }
+
+    /// A synthetic ratio population: one third low (IS-like), one third
+    /// near 1 (BU-like), one sixth above 2 (IP-like), one sixth in between.
+    fn synthetic_ratios(n: usize) -> Vec<PostingRatio> {
+        assert_eq!(n % 6, 0, "test helper wants a population divisible by 6");
+        (0..n)
+            .map(|i| {
+                let ratio = match i % 6 {
+                    0 | 1 => 0.05 + 0.3 * (i as f64 / n as f64),
+                    2 | 3 => 0.9 + 0.2 * (i as f64 / n as f64),
+                    4 => 2.5 + i as f64 / n as f64,
+                    _ => 1.4 + 0.4 * (i as f64 / n as f64),
+                };
+                PostingRatio { user: UserId(i as u32), ratio }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_sizes_scale_with_the_population() {
+        for n in [6usize, 60, 6000] {
+            let p = partition_ratios(synthetic_ratios(n));
+            assert_eq!(p.is.len(), n / 3, "IS at n={n}");
+            assert_eq!(p.bu.len(), n / 3, "BU at n={n}");
+            assert_eq!(p.ip.len() + p.rest.len(), n - 2 * (n / 3), "leftover at n={n}");
+            assert_eq!(p.members(UserGroup::All).len(), n);
+            assert!(!p.ip.is_empty(), "IP must not be empty at n={n}");
+            for &u in &p.ip {
+                assert!(p.ratio_of(u) > 2.0);
+            }
+            // IS really is the bottom third.
+            let max_is = p.is.iter().map(|&u| p.ratio_of(u)).fold(0.0f64, f64::max);
+            let min_rest =
+                p.bu.iter()
+                    .chain(&p.ip)
+                    .chain(&p.rest)
+                    .map(|&u| p.ratio_of(u))
+                    .fold(f64::INFINITY, f64::min);
+            assert!(max_is <= min_rest, "IS overlap at n={n}");
+        }
+    }
+
+    #[test]
+    fn ratio_of_matches_the_ratio_table() {
+        let p = partition_ratios(synthetic_ratios(6000));
+        for r in &p.ratios {
+            assert_eq!(p.ratio_of(r.user), r.ratio);
+        }
+        assert_eq!(p.ratio_of(UserId(999_999)), 0.0, "unknown users read as 0");
+    }
+
+    #[test]
+    fn partition_serialization_round_trips() {
+        let p = partition_ratios(synthetic_ratios(60));
+        let back = Partition::deserialize(&p.serialize()).expect("round trip");
+        assert_eq!(back.is, p.is);
+        assert_eq!(back.bu, p.bu);
+        assert_eq!(back.ip, p.ip);
+        assert_eq!(back.rest, p.rest);
+        for r in &p.ratios {
+            assert_eq!(back.ratio_of(r.user), r.ratio, "index must be rebuilt on load");
+        }
     }
 
     #[test]
