@@ -32,6 +32,12 @@ pub enum PmrError {
         /// The serializer's message.
         detail: String,
     },
+    /// A serving-engine worker died mid-stream (a panic in a shard), so
+    /// the engine can no longer answer queries or snapshot barriers.
+    EngineAborted {
+        /// Which worker died and why, as far as the engine could tell.
+        detail: String,
+    },
 }
 
 impl PmrError {
@@ -51,6 +57,9 @@ impl fmt::Display for PmrError {
                 write!(f, "user {user} has a degenerate timeline: {detail}")
             }
             PmrError::Serialize { detail } => write!(f, "serialization failed: {detail}"),
+            PmrError::EngineAborted { detail } => {
+                write!(f, "serving engine aborted: {detail}")
+            }
         }
     }
 }

@@ -326,6 +326,7 @@ mod tests {
         let before = inner_threads();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _guard = inner_threads_for_jobs(4);
+            // pmr-lint: allow(blocking-under-lock): run_tasks' workers never take hint_lock, and the lock exists to serialize exactly this kind of test
             run_tasks(vec![0u32, 1, 2, 3, 4, 5], 2, |i, t| {
                 if i == 3 {
                     panic!("worker closure dies");

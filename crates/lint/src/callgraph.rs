@@ -1,0 +1,322 @@
+//! A conservative intra-workspace call graph over parsed items.
+//!
+//! Resolution is name-based and deliberately narrow:
+//!
+//! * a **plain call** `helper(..)` or `module::helper(..)` resolves to
+//!   *every* workspace **free** `fn` named `helper` — a path-less call can
+//!   never name an associated fn in Rust, so `impl` methods are excluded
+//!   (`snapshot()` in the obs crate must not alias `Engine::snapshot`).
+//!   Still over-approximate across modules, so a flow property (blocking,
+//!   taint) propagating through it can only over-report the *reachability*,
+//!   never miss a real edge among workspace free functions;
+//! * an **associated call** `Type::helper(..)` (any path segment starting
+//!   with an uppercase letter is taken as the type) resolves only to
+//!   `helper` fns inside `impl Type` blocks — without this, every
+//!   `Engine::new(..)` in the repo would alias every other `fn new` and
+//!   wire the whole workspace into one blob; `Self::helper(..)` resolves
+//!   within the caller's own self type. A foreign type (`HashMap::new`)
+//!   has no workspace impl and resolves to nothing;
+//! * a **method call** `self.helper(..)` resolves to the `fn`s named
+//!   `helper` inside `impl` blocks for the caller's own self type;
+//! * any **other method call** (`x.helper(..)`) resolves to nothing — with
+//!   no type information, resolving it by name would wire unrelated types
+//!   together (every `.snapshot()` in the repo would alias the engine's
+//!   blocking one) and drown the passes in false positives.
+//!
+//! Calls into non-workspace code (std, vendored crates) resolve to nothing
+//! by construction; the passes model those effects directly at the call
+//! token instead (`.send(`, `.lock()`, …).
+
+use std::collections::HashMap;
+
+use crate::parse::FnItem;
+use crate::FileAnalysis;
+
+/// Identifies one `fn` item: an index into `files` and an index into that
+/// file's `parsed.fns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnKey {
+    /// Index into the `FileAnalysis` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `ParsedFile::fns`.
+    pub item: usize,
+}
+
+/// The workspace call graph. Function ids are indices into [`CallGraph::fns`].
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every `fn` item in the workspace, in (file, item) order.
+    pub fns: Vec<FnKey>,
+    /// Per fn: resolved outgoing edges as (index into the caller's
+    /// `FnItem::calls`, callee fn id), in call order.
+    edges: Vec<Vec<(usize, usize)>>,
+    /// Per fn: the ids of fns that call it (sorted, deduped).
+    callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph for a set of analyzed files.
+    pub fn build(files: &[FileAnalysis]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, item) in f.parsed.fns.iter().enumerate() {
+                by_name.entry(item.name.as_str()).or_default().push(fns.len());
+                fns.push(FnKey { file: fi, item: ii });
+            }
+        }
+        let mut edges = vec![Vec::new(); fns.len()];
+        let mut callers = vec![Vec::new(); fns.len()];
+        for (id, key) in fns.iter().enumerate() {
+            let caller = &files[key.file].parsed.fns[key.item];
+            for (ci, call) in caller.calls.iter().enumerate() {
+                if call.is_macro {
+                    continue;
+                }
+                let Some(candidates) = by_name.get(call.name.as_str()) else { continue };
+                let within_type = |ty: &str| -> Vec<usize> {
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            let k = fns[c];
+                            files[k.file].parsed.fns[k.item].self_type.as_deref() == Some(ty)
+                        })
+                        .collect()
+                };
+                let type_hint = call
+                    .path
+                    .iter()
+                    .rev()
+                    .find(|s| s.chars().next().is_some_and(|c| c.is_ascii_uppercase()));
+                let targets: Vec<usize> = if !call.is_method {
+                    match type_hint.map(String::as_str) {
+                        Some("Self") => match caller.self_type.as_deref() {
+                            Some(ty) => within_type(ty),
+                            None => continue,
+                        },
+                        Some(ty) => within_type(ty),
+                        None => candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                let k = fns[c];
+                                files[k.file].parsed.fns[k.item].self_type.is_none()
+                            })
+                            .collect(),
+                    }
+                } else if call.receiver == ["self"] {
+                    let Some(self_type) = caller.self_type.as_deref() else { continue };
+                    within_type(self_type)
+                } else {
+                    continue;
+                };
+                for t in targets {
+                    edges[id].push((ci, t));
+                    callers[t].push(id);
+                }
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        CallGraph { fns, edges, callers }
+    }
+
+    /// Number of fns in the graph.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Whether the graph has no fns at all.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// The parsed item behind fn id `id`.
+    pub fn item<'a>(&self, files: &'a [FileAnalysis], id: usize) -> &'a FnItem {
+        let k = self.fns[id];
+        &files[k.file].parsed.fns[k.item]
+    }
+
+    /// The file index fn `id` lives in.
+    pub fn file_of(&self, id: usize) -> usize {
+        self.fns[id].file
+    }
+
+    /// Resolved outgoing edges of `id`: (call index, callee id) pairs.
+    pub fn calls_from(&self, id: usize) -> &[(usize, usize)] {
+        &self.edges[id]
+    }
+
+    /// Propagate a flag from callees up to callers until fixpoint: a fn
+    /// becomes flagged when any of its resolved callees is flagged, unless
+    /// `damp` says the fn neutralizes the property (e.g. it sorts before
+    /// passing data on). Returns the final flags plus, for each fn flagged
+    /// by propagation, the (call index, callee id) edge the flag arrived
+    /// through — a witness for path reconstruction. Seeds keep `None`.
+    pub fn propagate_up(
+        &self,
+        seeds: Vec<bool>,
+        damp: &dyn Fn(usize) -> bool,
+    ) -> (Vec<bool>, Vec<Option<(usize, usize)>>) {
+        let mut flag = seeds;
+        flag.resize(self.fns.len(), false);
+        let mut witness: Vec<Option<(usize, usize)>> = vec![None; self.fns.len()];
+        let mut work: Vec<usize> =
+            flag.iter().enumerate().filter_map(|(i, &f)| if f { Some(i) } else { None }).collect();
+        while let Some(t) = work.pop() {
+            for &caller in &self.callers[t] {
+                if flag[caller] || damp(caller) {
+                    continue;
+                }
+                flag[caller] = true;
+                witness[caller] =
+                    self.edges[caller].iter().find(|&&(_, callee)| callee == t).copied();
+                work.push(caller);
+            }
+        }
+        (flag, witness)
+    }
+
+    /// The witness chain from `id` down to a seed: the fn ids visited after
+    /// `id` (first hop first, seed last). Empty for seeds themselves.
+    pub fn witness_path(&self, witness: &[Option<(usize, usize)>], id: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        while let Some((_, next)) = witness[cur] {
+            // Defensive bound: witnesses form a DAG by construction, but a
+            // cycle here must not hang the linter.
+            if path.len() > self.fns.len() {
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    fn files(sources: &[(&str, &str)]) -> Vec<FileAnalysis> {
+        sources.iter().map(|(p, s)| analyze_source(p, s)).collect()
+    }
+
+    fn named(graph: &CallGraph, files: &[FileAnalysis], name: &str) -> usize {
+        (0..graph.len())
+            .find(|&i| graph.item(files, i).name == name)
+            .unwrap_or_else(|| panic!("no fn named {name}"))
+    }
+
+    #[test]
+    fn plain_calls_resolve_across_files() {
+        let fs = files(&[
+            ("a.rs", "fn top() { helper(); }\n"),
+            ("b.rs", "fn helper() { leaf(); }\nfn leaf() {}\n"),
+        ]);
+        let g = CallGraph::build(&fs);
+        let top = named(&g, &fs, "top");
+        let helper = named(&g, &fs, "helper");
+        let leaf = named(&g, &fs, "leaf");
+        assert_eq!(g.calls_from(top), [(0, helper)]);
+        assert_eq!(g.calls_from(helper), [(0, leaf)]);
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_the_self_type_only() {
+        let fs = files(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A {\n    fn go(&self) { self.step(); }\n    fn step(&self) {}\n}\n\
+             impl B {\n    fn step(&self) {}\n}\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let go = named(&g, &fs, "go");
+        assert_eq!(g.calls_from(go).len(), 1);
+        let (_, callee) = g.calls_from(go)[0];
+        assert_eq!(g.item(&fs, callee).self_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn associated_calls_resolve_via_their_type_only() {
+        let fs = files(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A {\n    fn new() {}\n}\n\
+             impl B {\n    fn new() {}\n    fn fresh() { Self::new(); }\n}\n\
+             fn go() { A::new(); }\n\
+             fn foreign() { HashMap::new(); }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let go = named(&g, &fs, "go");
+        assert_eq!(g.calls_from(go).len(), 1, "A::new must not alias B::new");
+        let (_, callee) = g.calls_from(go)[0];
+        assert_eq!(g.item(&fs, callee).self_type.as_deref(), Some("A"));
+
+        let fresh = named(&g, &fs, "fresh");
+        assert_eq!(g.calls_from(fresh).len(), 1);
+        let (_, callee) = g.calls_from(fresh)[0];
+        assert_eq!(g.item(&fs, callee).self_type.as_deref(), Some("B"));
+
+        let foreign = named(&g, &fs, "foreign");
+        assert!(
+            g.calls_from(foreign).is_empty(),
+            "HashMap::new must not alias any workspace fn new"
+        );
+    }
+
+    #[test]
+    fn plain_calls_resolve_to_free_fns_only() {
+        let fs = files(&[(
+            "a.rs",
+            "struct Engine;\n\
+             impl Engine {\n    fn snapshot(&self) {}\n}\n\
+             fn snapshot() {}\n\
+             fn go() { snapshot(); }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let go = named(&g, &fs, "go");
+        assert_eq!(g.calls_from(go).len(), 1, "plain snapshot() must not alias the method");
+        let (_, callee) = g.calls_from(go)[0];
+        assert_eq!(g.item(&fs, callee).self_type, None);
+    }
+
+    #[test]
+    fn foreign_method_calls_resolve_to_nothing() {
+        let fs = files(&[(
+            "a.rs",
+            "fn go(x: &Thing) { x.snapshot(); }\n\
+             struct Engine;\nimpl Engine {\n    fn snapshot(&self) {}\n}\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let go = named(&g, &fs, "go");
+        assert!(g.calls_from(go).is_empty(), "x.snapshot() must not alias Engine::snapshot");
+    }
+
+    #[test]
+    fn propagation_climbs_callers_and_respects_damping() {
+        let fs = files(&[(
+            "a.rs",
+            "fn source() {}\n\
+             fn mid() { source(); }\n\
+             fn damped() { source(); }\n\
+             fn top() { mid(); }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let source = named(&g, &fs, "source");
+        let mid = named(&g, &fs, "mid");
+        let damped = named(&g, &fs, "damped");
+        let top = named(&g, &fs, "top");
+        let mut seeds = vec![false; g.len()];
+        seeds[source] = true;
+        let (flag, witness) = g.propagate_up(seeds, &|id| id == damped);
+        assert!(flag[mid] && flag[top]);
+        assert!(!flag[damped], "damping must stop propagation");
+        assert_eq!(g.witness_path(&witness, top), [mid, source]);
+    }
+}

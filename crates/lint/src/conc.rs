@@ -1,0 +1,529 @@
+//! The concurrency pass: lock-guard and channel-endpoint modeling.
+//!
+//! Three rules ride on one analysis of the parsed workspace:
+//!
+//! * **`blocking-under-lock`** — a blocking channel op (`.send(`, zero-arg
+//!   `.recv()`) executed while a lock guard is live, directly or through a
+//!   call whose transitive closure blocks. The guard may be waiting on the
+//!   very thread that needs the lock to drain the channel.
+//! * **`lock-order-cycle`** — the workspace-wide lock-acquisition-order
+//!   graph (edge `A → B` when `B` is acquired, directly or via a call,
+//!   while a guard on `A` is live) has a cycle; two threads walking the
+//!   cycle from different entry points deadlock. A self-edge is reported
+//!   too: `parking_lot` locks are not reentrant.
+//! * **`channel-cycle`** — struct `S` blocking-sends message type `M` to
+//!   and blocking-recvs `M'` from the same peer struct `T` (determined
+//!   from `Sender<M>`/`Receiver<M>` field types). If `S` parks on a full
+//!   forward queue while `T` parks on an un-drained reply queue, neither
+//!   makes progress; such request/reply topologies need a protocol
+//!   argument and carry a justified allow.
+//!
+//! Guard modeling: `.lock()` and zero-arg `.read()`/`.write()` (the zero
+//! arity separates `parking_lot` guards from `io::Read`/`io::Write`). A
+//! `let`-bound guard lives to the end of its innermost block or an
+//! explicit `drop(name)`; an unbound (temporary) guard lives to the end of
+//! its statement; `let _ =` drops immediately and creates no guard. Test
+//! code is *not* exempt — a deadlocked test hangs CI just as hard.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{Call, FieldDef, FnItem};
+use crate::rules::{finding_at, statement_end, statement_start, Finding};
+use crate::FileAnalysis;
+
+/// How a call blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Send,
+    Recv,
+}
+
+/// One direct blocking channel op inside a fn.
+#[derive(Debug, Clone)]
+struct BlockSite {
+    call: usize,
+    kind: BlockKind,
+}
+
+/// One lock acquisition inside a fn.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    call: usize,
+    /// Canonical lock identity (see [`lock_id`]).
+    lock: String,
+    /// Token range within which the guard is live: from the acquisition
+    /// token to the end of the innermost enclosing block, an explicit
+    /// `drop`, or the end of the statement for unbound temporaries.
+    live: (usize, usize),
+}
+
+/// Everything the three rules need, precomputed per fn id.
+struct FnConc {
+    blocks: Vec<BlockSite>,
+    acquisitions: Vec<Acquisition>,
+}
+
+/// Run the concurrency pass over the whole workspace.
+pub(crate) fn check(files: &[FileAnalysis], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let per_fn: Vec<FnConc> = (0..graph.len()).map(|id| analyze_fn(files, graph, id)).collect();
+
+    // Blocking closure: fns that block directly or through any resolvable
+    // call chain. No damping — blocking does not wash out.
+    let seeds: Vec<bool> = per_fn.iter().map(|f| !f.blocks.is_empty()).collect();
+    let (blocking, witness) = graph.propagate_up(seeds, &|_| false);
+
+    check_blocking_under_lock(files, graph, &per_fn, &blocking, &witness, findings);
+    check_lock_order(files, graph, &per_fn, findings);
+    check_channel_cycle(files, graph, &per_fn, findings);
+}
+
+/// Whether the call at `call.tok` has zero arguments: `name()` exactly.
+fn zero_arg(toks: &[Tok], call: &Call) -> bool {
+    toks.get(call.tok + 1).is_some_and(|t| t.text == "(")
+        && toks.get(call.tok + 2).is_some_and(|t| t.text == ")")
+}
+
+/// Canonical identity of a lock from its acquisition's receiver chain. A
+/// `self.<field>` receiver is keyed by the impl's self type so the same
+/// lock matches across methods and files; anything else keeps its textual
+/// chain (`hint_lock()`, `global()`, a local name).
+fn lock_id(item: &FnItem, call: &Call) -> Option<String> {
+    if call.receiver.is_empty() {
+        return None;
+    }
+    if call.receiver[0] == "self" {
+        let ty = item.self_type.as_deref()?;
+        return Some(format!("{ty}.{}", call.receiver[1..].join(".")));
+    }
+    Some(call.receiver.join("."))
+}
+
+/// All `{`..`}` pairs strictly inside a fn body.
+fn inner_brace_pairs(toks: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut stack = Vec::new();
+    for (i, tok) in toks.iter().enumerate().take(close.min(toks.len())).skip(open + 1) {
+        match tok.text.as_str() {
+            "{" if tok.kind == TokKind::Punct => stack.push(i),
+            "}" if tok.kind == TokKind::Punct => {
+                if let Some(o) = stack.pop() {
+                    pairs.push((o, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+fn analyze_fn(files: &[FileAnalysis], graph: &CallGraph, id: usize) -> FnConc {
+    let file = &files[graph.file_of(id)];
+    let toks = &file.lexed.toks;
+    let item = graph.item(files, id);
+    let Some((open, close)) = item.body else {
+        return FnConc { blocks: Vec::new(), acquisitions: Vec::new() };
+    };
+    let pairs = inner_brace_pairs(toks, open, close);
+
+    let mut blocks = Vec::new();
+    let mut acquisitions = Vec::new();
+    for (ci, call) in item.calls.iter().enumerate() {
+        if call.is_macro {
+            continue;
+        }
+        match call.name.as_str() {
+            "send" if call.is_method => blocks.push(BlockSite { call: ci, kind: BlockKind::Send }),
+            "recv" if call.is_method && zero_arg(toks, call) => {
+                blocks.push(BlockSite { call: ci, kind: BlockKind::Recv });
+            }
+            "lock" | "read" | "write" if call.is_method && zero_arg(toks, call) => {
+                let Some(lock) = lock_id(item, call) else { continue };
+                let stmt_start = statement_start(toks, call.tok);
+                let stmt_end = statement_end(toks, call.tok);
+                // `let [mut] name = ...` binds the guard; `let _ =` drops it
+                // on the spot; no binding makes it a statement temporary.
+                let mut k = stmt_start;
+                let is_let = toks.get(k).is_some_and(|t| t.text == "let");
+                if is_let && toks.get(k + 1).is_some_and(|t| t.text == "mut") {
+                    k += 1;
+                }
+                let bound = if is_let
+                    && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && toks.get(k + 2).is_some_and(|t| t.text == "=")
+                {
+                    Some(toks[k + 1].text.as_str())
+                } else {
+                    None
+                };
+                if is_let && toks.get(k + 1).is_some_and(|t| t.text == "_") {
+                    continue; // `let _ = x.lock()` drops the guard immediately
+                }
+                let until = match bound {
+                    None => stmt_end,
+                    Some(name) => {
+                        // Innermost enclosing block, tightened by drop(name).
+                        let block_close = pairs
+                            .iter()
+                            .filter(|&&(a, b)| call.tok > a && call.tok < b)
+                            .map(|&(_, b)| b)
+                            .min()
+                            .unwrap_or(close);
+                        item.calls
+                            .iter()
+                            .filter(|c| {
+                                c.name == "drop"
+                                    && !c.is_method
+                                    && c.tok > call.tok
+                                    && c.tok < block_close
+                                    && toks.get(c.tok + 2).is_some_and(|t| t.text == name)
+                                    && toks.get(c.tok + 3).is_some_and(|t| t.text == ")")
+                            })
+                            .map(|c| c.tok)
+                            .min()
+                            .unwrap_or(block_close)
+                    }
+                };
+                acquisitions.push(Acquisition { call: ci, lock, live: (call.tok, until) });
+            }
+            _ => {}
+        }
+    }
+    FnConc { blocks, acquisitions }
+}
+
+fn describe_path(files: &[FileAnalysis], graph: &CallGraph, chain: &[usize]) -> String {
+    chain
+        .iter()
+        .map(|&id| {
+            let item = graph.item(files, id);
+            let file = &files[graph.file_of(id)];
+            format!("{} ({}:{})", item.name, file.rel_path, item.line)
+        })
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn check_blocking_under_lock(
+    files: &[FileAnalysis],
+    graph: &CallGraph,
+    per_fn: &[FnConc],
+    blocking: &[bool],
+    witness: &[Option<(usize, usize)>],
+    findings: &mut Vec<Finding>,
+) {
+    for id in 0..graph.len() {
+        let conc = &per_fn[id];
+        if conc.acquisitions.is_empty() {
+            continue;
+        }
+        let item = graph.item(files, id);
+        let file = &files[graph.file_of(id)];
+        for acq in &conc.acquisitions {
+            let acq_line = item.calls[acq.call].line;
+            // Direct ops under the guard.
+            for b in &conc.blocks {
+                let call = &item.calls[b.call];
+                if call.tok > acq.live.0 && call.tok <= acq.live.1 {
+                    let verb = match b.kind {
+                        BlockKind::Send => "send",
+                        BlockKind::Recv => "recv",
+                    };
+                    findings.push(finding_at(
+                        "blocking-under-lock",
+                        &file.rel_path,
+                        call.line,
+                        call.col,
+                        format!(
+                            "blocking `.{verb}(..)` while the `{}` guard (acquired line \
+                             {acq_line}) is live; if draining the channel needs that lock, \
+                             both threads park forever — drop the guard first",
+                            acq.lock
+                        ),
+                    ));
+                }
+            }
+            // Calls whose closure blocks, made under the guard.
+            for &(ci, callee) in graph.calls_from(id) {
+                let call = &item.calls[ci];
+                if call.tok <= acq.live.0 || call.tok > acq.live.1 || !blocking[callee] {
+                    continue;
+                }
+                let mut chain = vec![callee];
+                chain.extend(graph.witness_path(witness, callee));
+                findings.push(finding_at(
+                    "blocking-under-lock",
+                    &file.rel_path,
+                    call.line,
+                    call.col,
+                    format!(
+                        "call to `{}` can block on a channel ({}) while the `{}` guard \
+                         (acquired line {acq_line}) is live; drop the guard before the call",
+                        call.name,
+                        describe_path(files, graph, &chain),
+                        acq.lock
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_lock_order(
+    files: &[FileAnalysis],
+    graph: &CallGraph,
+    per_fn: &[FnConc],
+    findings: &mut Vec<Finding>,
+) {
+    // Per-fn transitive lock sets: which locks a call into this fn may
+    // acquire. Fixpoint over resolved edges (lock vocabularies are tiny).
+    let mut closure: Vec<Vec<String>> = per_fn
+        .iter()
+        .map(|f| {
+            let mut v: Vec<String> = f.acquisitions.iter().map(|a| a.lock.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..graph.len() {
+            for &(_, callee) in graph.calls_from(id) {
+                if callee == id {
+                    continue;
+                }
+                let extra: Vec<String> =
+                    closure[callee].iter().filter(|l| !closure[id].contains(l)).cloned().collect();
+                if !extra.is_empty() {
+                    closure[id].extend(extra);
+                    closure[id].sort();
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquisition-order edges: lock A held, lock B acquired. Sites keep the
+    // earliest (path, line, col) witness per edge for deterministic reports.
+    let mut edges: BTreeMap<(String, String), (String, u32, u32, usize)> = BTreeMap::new();
+    let mut note = |a: &str, b: &str, path: &str, line: u32, col: u32, fn_id: usize| {
+        let key = (a.to_owned(), b.to_owned());
+        let site = (path.to_owned(), line, col, fn_id);
+        match edges.get(&key) {
+            Some(prev) if *prev <= site => {}
+            _ => {
+                edges.insert(key, site);
+            }
+        }
+    };
+    for id in 0..graph.len() {
+        let conc = &per_fn[id];
+        if conc.acquisitions.is_empty() {
+            continue;
+        }
+        let item = graph.item(files, id);
+        let file = &files[graph.file_of(id)];
+        for acq in &conc.acquisitions {
+            for other in &conc.acquisitions {
+                let call = &item.calls[other.call];
+                if other.lock != acq.lock && call.tok > acq.live.0 && call.tok <= acq.live.1 {
+                    note(&acq.lock, &other.lock, &file.rel_path, call.line, call.col, id);
+                }
+            }
+            for &(ci, callee) in graph.calls_from(id) {
+                let call = &item.calls[ci];
+                if call.tok <= acq.live.0 || call.tok > acq.live.1 {
+                    continue;
+                }
+                for lock in &closure[callee] {
+                    note(&acq.lock, lock, &file.rel_path, call.line, call.col, id);
+                }
+            }
+        }
+    }
+
+    // A self-edge is an immediate deadlock (non-reentrant locks); report it
+    // directly. Longer cycles: DFS over the order graph.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for ((a, b), site) in &edges {
+        if a == b {
+            findings.push(finding_at(
+                "lock-order-cycle",
+                &site.0,
+                site.1,
+                site.2,
+                format!(
+                    "`{a}` re-acquired while its own guard is live; parking_lot locks are \
+                     not reentrant, so this self-deadlocks"
+                ),
+            ));
+        } else {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+    }
+    for cycle in find_cycles(&adj) {
+        // Report at the earliest witness site among the cycle's edges.
+        let site = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .filter_map(|(a, b)| edges.get(&(a.to_string(), b.to_string())))
+            .min()
+            .cloned();
+        let Some(site) = site else { continue };
+        findings.push(finding_at(
+            "lock-order-cycle",
+            &site.0,
+            site.1,
+            site.2,
+            format!(
+                "lock acquisition order forms a cycle: {}; two threads entering the cycle \
+                 at different points deadlock — impose one global order",
+                cycle.join(" -> "),
+            ),
+        ));
+    }
+}
+
+/// Elementary cycles in a tiny digraph, canonicalized (each reported once,
+/// rotated so the lexicographically smallest node leads). DFS from each
+/// node; the graphs here have a handful of nodes, so simplicity wins.
+fn find_cycles<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a str>> {
+    let mut out: Vec<Vec<&str>> = Vec::new();
+    let mut seen: Vec<Vec<&str>> = Vec::new();
+    for &start in adj.keys() {
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+                if next == start {
+                    // Canonical rotation.
+                    let mut cycle = path.clone();
+                    let min_pos = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, s)| *s)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min_pos);
+                    if !seen.contains(&cycle) {
+                        seen.push(cycle.clone());
+                        out.push(cycle);
+                    }
+                } else if !path.contains(&next) && path.len() <= adj.len() {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One struct's channel endpoints, recovered from its field types.
+#[derive(Debug, Default)]
+struct Endpoints<'a> {
+    /// (field, message type) per `Sender<M>` field.
+    sends: Vec<(&'a FieldDef, &'a str)>,
+    /// (field, message type) per `Receiver<M>` field.
+    recvs: Vec<(&'a FieldDef, &'a str)>,
+    /// File the struct is declared in (for reporting).
+    file: usize,
+}
+
+/// The message type parameter of the first `Sender<..>`/`Receiver<..>` in a
+/// field's type tokens.
+fn endpoint_message<'a>(type_toks: &'a [String], endpoint: &str) -> Option<&'a str> {
+    let pos = type_toks.iter().position(|t| t == endpoint)?;
+    if type_toks.get(pos + 1).map(String::as_str) != Some("<") {
+        return None;
+    }
+    type_toks.get(pos + 2).map(String::as_str)
+}
+
+fn check_channel_cycle(
+    files: &[FileAnalysis],
+    graph: &CallGraph,
+    per_fn: &[FnConc],
+    findings: &mut Vec<Finding>,
+) {
+    // Struct name -> endpoints (structs are identified by bare name; the
+    // message-type match keeps unrelated same-named structs from pairing).
+    let mut structs: BTreeMap<&str, Endpoints> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for field in &file.parsed.fields {
+            let entry = structs.entry(field.owner.as_str()).or_default();
+            entry.file = fi;
+            if let Some(msg) = endpoint_message(&field.type_toks, "Sender") {
+                entry.sends.push((field, msg));
+            }
+            if let Some(msg) = endpoint_message(&field.type_toks, "Receiver") {
+                entry.recvs.push((field, msg));
+            }
+        }
+    }
+
+    // Per struct: the field names its methods blocking-send / blocking-recv
+    // through (receiver chains of direct blocking ops in `impl` fns).
+    let mut used: BTreeMap<&str, (Vec<&str>, Vec<&str>)> = BTreeMap::new();
+    for (id, facts) in per_fn.iter().enumerate().take(graph.len()) {
+        let item = graph.item(files, id);
+        let Some(self_type) = item.self_type.as_deref() else { continue };
+        for b in &facts.blocks {
+            let call = &item.calls[b.call];
+            let fields: Vec<&str> = call.receiver.iter().map(String::as_str).collect();
+            let entry = used.entry(self_type).or_default();
+            match b.kind {
+                BlockKind::Send => entry.0.extend(fields),
+                BlockKind::Recv => entry.1.extend(fields),
+            }
+        }
+    }
+    let blocking_use = |s: &str, field: &str, kind: BlockKind| -> bool {
+        used.get(s).is_some_and(|(sends, recvs)| match kind {
+            BlockKind::Send => sends.contains(&field),
+            BlockKind::Recv => recvs.contains(&field),
+        })
+    };
+
+    for (&s_name, s) in &structs {
+        for &(s_tx, fwd_msg) in &s.sends {
+            if !blocking_use(s_name, &s_tx.name, BlockKind::Send) {
+                continue;
+            }
+            for &(s_rx, reply_msg) in &s.recvs {
+                if !blocking_use(s_name, &s_rx.name, BlockKind::Recv) {
+                    continue;
+                }
+                // A peer that receives what S sends and sends what S
+                // receives, both blockingly, closes the wait cycle.
+                let peer = structs.iter().find(|&(&t_name, t)| {
+                    t_name != s_name
+                        && t.recvs.iter().any(|&(f, m)| {
+                            m == fwd_msg && blocking_use(t_name, &f.name, BlockKind::Recv)
+                        })
+                        && t.sends.iter().any(|&(f, m)| {
+                            m == reply_msg && blocking_use(t_name, &f.name, BlockKind::Send)
+                        })
+                });
+                let Some((&t_name, _)) = peer else { continue };
+                findings.push(finding_at(
+                    "channel-cycle",
+                    &files[s.file].rel_path,
+                    s_tx.line,
+                    1,
+                    format!(
+                        "`{s_name}` blocking-sends `{fwd_msg}` to and blocking-recvs \
+                         `{reply_msg}` from `{t_name}`; if the forward queue fills while \
+                         the reply queue is un-drained, both sides park — justify the \
+                         drain protocol or make one direction non-blocking"
+                    ),
+                ));
+            }
+        }
+    }
+}

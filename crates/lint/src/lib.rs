@@ -5,30 +5,137 @@
 //! A standalone static-analysis tool enforcing the workspace's determinism
 //! and correctness invariants. PR 1 made byte-identical sweep output for
 //! any `--jobs N` the repo's headline guarantee; this crate is the machine
-//! check that keeps it true: no hash-ordered iteration feeding output, no
-//! unseeded randomness, no wall-clock reads outside the timing layer, no
-//! panicking library paths, no order-sensitive float accumulation.
+//! check that keeps it true as the system grows threaded serving code.
 //!
-//! The tool lexes every `.rs` file with a small hand-rolled lexer (the
-//! vendor tree is offline-only, so no `syn`) and runs five named,
-//! individually-suppressable rules over the token stream — see
-//! [`rules::RULES`] for the catalog and the README's "Static analysis &
-//! determinism policy" section for how and when to suppress.
+//! The v2 pipeline is a small multi-pass analyzer (no `syn` — the vendor
+//! tree is offline-only):
 //!
+//! 1. **lex** ([`lexer`]) — a loss-tolerant hand-rolled lexer; unknown
+//!    constructs degrade to punctuation, never to a crash;
+//! 2. **parse** ([`parse`]) — item-level recovery of `fn` items, `impl`
+//!    self types, struct fields and call expressions;
+//! 3. **call graph** ([`callgraph`]) — conservative, name-based
+//!    intra-workspace resolution;
+//! 4. **passes** — the per-file token rules ([`rules`]), the concurrency
+//!    pass ([`conc`]: `blocking-under-lock`, `lock-order-cycle`,
+//!    `channel-cycle`) and the determinism-taint pass ([`taint`]:
+//!    `nondet-flow`).
+//!
+//! [`rules::REGISTRY`] is the rule catalog; the README's "Static analysis
+//! & determinism policy" section describes how and when to suppress.
 //! Run it with `cargo run -p pmr-lint -- --deny-all` (CI does).
 
+pub mod callgraph;
+pub mod conc;
 pub mod lexer;
+pub mod parse;
+pub mod report;
 pub mod rules;
 pub mod suppress;
+pub mod taint;
 
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
-pub use rules::{lint_source, Finding};
+use serde::Serialize;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{lex, Lexed};
+use crate::parse::ParsedFile;
+use crate::suppress::parse_suppressions;
+
+pub use rules::{Finding, Rule, RuleKind, REGISTRY};
 
 /// Directories never scanned: vendored stand-ins, build output, VCS
 /// internals, result artifacts, and the linter's own deliberately-violating
 /// fixtures.
 const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "results", "fixtures"];
+
+/// One file, lexed and parsed — the unit the passes consume.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// The raw token stream and comments.
+    pub lexed: Lexed,
+    /// Item structure recovered by [`parse::parse`].
+    pub parsed: ParsedFile,
+    /// Identifiers known to be `HashMap`s/`HashSet`s, sorted for binary
+    /// search.
+    pub hash_idents: Vec<String>,
+}
+
+/// Lex and parse one source file.
+pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
+    let lexed = lex(source);
+    let parsed = parse::parse(rel_path, &lexed.toks);
+    let hash_idents = rules::find_hash_idents(&lexed.toks);
+    FileAnalysis { rel_path: rel_path.to_owned(), lexed, parsed, hash_idents }
+}
+
+/// One justified `allow(...)` directive's location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AllowSite {
+    /// Workspace-relative path of the file carrying the directive.
+    pub path: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+}
+
+/// The full result of a lint run: surviving findings plus the allow audit.
+#[derive(Debug, Serialize)]
+pub struct LintReport {
+    /// Findings after suppression, sorted by (path, line, rule, col).
+    pub findings: Vec<Finding>,
+    /// rule name → every justified allow of that rule, in path order. The
+    /// audit trail: `--deny-all` passing means *this* is the complete list
+    /// of places the workspace overrides the linter.
+    pub allows: BTreeMap<String, Vec<AllowSite>>,
+}
+
+/// Run the whole pipeline — per-file token rules, suppression parsing, the
+/// workspace flow passes — over a set of analyzed files.
+pub fn lint_files(files: &[FileAnalysis]) -> LintReport {
+    let mut findings = Vec::new();
+    let mut tables: HashMap<&str, suppress::SuppressionTable> = HashMap::new();
+    let mut allows: BTreeMap<String, Vec<AllowSite>> = BTreeMap::new();
+    for f in files {
+        let (table, meta) = parse_suppressions(&f.rel_path, &f.lexed.comments, &f.lexed.toks);
+        findings.extend(meta);
+        for (rule, line) in table.directives() {
+            allows
+                .entry(rule.clone())
+                .or_default()
+                .push(AllowSite { path: f.rel_path.clone(), line: *line });
+        }
+        tables.insert(f.rel_path.as_str(), table);
+        findings.extend(rules::token_rules(&f.rel_path, &f.lexed.toks));
+    }
+
+    let graph = CallGraph::build(files);
+    conc::check(files, &graph, &mut findings);
+    taint::check(files, &graph, &mut findings);
+
+    findings.retain(|fd| {
+        !tables.get(fd.path.as_str()).is_some_and(|t| t.is_suppressed(&fd.rule, fd.line))
+    });
+    findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule, a.col).cmp(&(&b.path, b.line, &b.rule, b.col)));
+    // A single construct can trip one rule through several detectors (a
+    // `for` loop over `m.keys()` matches both the chain and the loop
+    // pattern; a call can resolve to several same-named fns); report once.
+    findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    LintReport { findings, allows }
+}
+
+/// Lint one source file given its workspace-relative path. The path drives
+/// the per-rule allowlists (timing layer, bench binaries) and the
+/// library/binary/test distinction, so callers must pass it in repo form
+/// (forward slashes, relative to the workspace root). The flow passes run
+/// too, scoped to this one file.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    lint_files(&[analyze_source(rel_path, source)]).findings
+}
 
 /// Locate the workspace root by walking up from `start` until a directory
 /// containing a `Cargo.toml` with a `[workspace]` table appears.
@@ -72,17 +179,27 @@ pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// Analyze every file of the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> Vec<FileAnalysis> {
+    workspace_files(root)
+        .into_iter()
+        .filter_map(|path| {
+            let source = std::fs::read_to_string(&path).ok()?;
+            Some(analyze_source(&rel_path(root, &path), &source))
+        })
+        .collect()
+}
+
+/// Lint the whole workspace and return the full report (findings + allow
+/// audit).
+pub fn lint_workspace_report(root: &Path) -> LintReport {
+    lint_files(&analyze_workspace(root))
+}
+
 /// Lint every file of the workspace at `root`; findings come back sorted
-/// by (path, line, col).
+/// by (path, line, rule, col).
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for path in workspace_files(root) {
-        let Ok(source) = std::fs::read_to_string(&path) else { continue };
-        let rel = rel_path(root, &path);
-        findings.extend(lint_source(&rel, &source));
-    }
-    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
-    findings
+    lint_workspace_report(root).findings
 }
 
 /// Workspace-relative, forward-slash form of `path`.
@@ -123,5 +240,20 @@ mod tests {
             assert!(!rel.starts_with("vendor/"), "vendored {rel} must not be scanned");
             assert!(!rel.starts_with("target/"), "build output {rel} must not be scanned");
         }
+    }
+
+    #[test]
+    fn the_allow_audit_lists_justified_allows_by_rule() {
+        let report = lint_files(&[analyze_source(
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 {\n\
+             // pmr-lint: allow(lib-unwrap): caller guarantees Some\n\
+             x.unwrap()\n\
+             }\n",
+        )]);
+        assert!(report.findings.is_empty());
+        let sites = report.allows.get("lib-unwrap").expect("audited");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 2);
     }
 }

@@ -1,27 +1,56 @@
 //! CLI for the workspace determinism/correctness linter.
 //!
 //! ```text
-//! pmr-lint [--root DIR] [--format text|json] [--deny-all] [FILE...]
+//! pmr-lint [--root DIR] [--format text|json|github] [--deny-all] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the whole workspace is scanned (vendor/target/
 //! fixtures excluded). `--deny-all` exits non-zero on any finding — the CI
-//! mode. `--format json` emits a machine-readable findings array.
+//! mode. `--format json` emits the machine-readable findings array;
+//! `--format github` emits GitHub Actions `::warning` annotations so
+//! findings surface inline on pull requests.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pmr_lint::{find_workspace_root, lint_source, lint_workspace, rel_path, Finding};
+use pmr_lint::report::{write_report, Format};
+use pmr_lint::rules::{RuleKind, REGISTRY};
+use pmr_lint::{
+    analyze_source, find_workspace_root, lint_files, lint_workspace_report, rel_path, FileAnalysis,
+};
 
 struct Options {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
     deny_all: bool,
     files: Vec<PathBuf>,
 }
 
+fn print_help() {
+    println!(
+        "pmr-lint: determinism & correctness linter for the pmr workspace\n\n\
+         usage: pmr-lint [--root DIR] [--format text|json|github] [--deny-all] [FILE...]\n"
+    );
+    for (kind, title) in [
+        (RuleKind::Token, "per-file token rules:"),
+        (RuleKind::Flow, "workspace flow rules (parser + call graph):"),
+        (RuleKind::Meta, "meta rules (policing suppression itself):"),
+    ] {
+        println!("{title}");
+        for rule in REGISTRY.iter().filter(|r| r.kind == kind) {
+            println!("  {:<20} {}", rule.name, rule.summary);
+        }
+        println!();
+    }
+    println!(
+        "suppress a finding with a justified inline comment:\n  \
+         // pmr-lint: allow(rule-name): why the violation is sound\n\n\
+         the text format appends a per-rule audit of every justified allow."
+    );
+}
+
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { root: None, json: false, deny_all: false, files: Vec::new() };
+    let mut opts = Options { root: None, format: Format::Text, deny_all: false, files: Vec::new() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,26 +60,12 @@ fn parse_args() -> Result<Options, String> {
             }
             "--format" => {
                 let v = args.next().ok_or("--format needs a value")?;
-                match v.as_str() {
-                    "json" => opts.json = true,
-                    "text" => opts.json = false,
-                    other => return Err(format!("unknown format `{other}` (text|json)")),
-                }
+                opts.format = Format::parse(&v)
+                    .ok_or_else(|| format!("unknown format `{v}` (text|json|github)"))?;
             }
             "--deny-all" => opts.deny_all = true,
             "--help" | "-h" => {
-                println!(
-                    "pmr-lint: determinism & correctness linter for the pmr workspace\n\n\
-                     usage: pmr-lint [--root DIR] [--format text|json] [--deny-all] [FILE...]\n\n\
-                     rules:"
-                );
-                for (name, what) in pmr_lint::rules::RULES {
-                    println!("  {name:<14} {what}");
-                }
-                println!(
-                    "\nsuppress a finding with a justified inline comment:\n  \
-                     // pmr-lint: allow(rule-name): why the violation is sound"
-                );
+                print_help();
                 std::process::exit(0);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -74,15 +89,17 @@ fn main() -> ExitCode {
         .or_else(|| find_workspace_root(Path::new(".")))
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let findings: Vec<Finding> = if opts.files.is_empty() {
-        lint_workspace(&root)
+    let report = if opts.files.is_empty() {
+        lint_workspace_report(&root)
     } else {
-        let mut all = Vec::new();
+        // Explicit files are analyzed together, so the cross-file passes
+        // (call graph, channel topology) still see all of them.
+        let mut analyses: Vec<FileAnalysis> = Vec::new();
         for file in &opts.files {
             match std::fs::read_to_string(file) {
                 Ok(source) => {
                     let rel = rel_path(&root, &file.canonicalize().unwrap_or(file.clone()));
-                    all.extend(lint_source(&rel, &source));
+                    analyses.push(analyze_source(&rel, &source));
                 }
                 Err(e) => {
                     eprintln!("error: cannot read {}: {e}", file.display());
@@ -90,29 +107,24 @@ fn main() -> ExitCode {
                 }
             }
         }
-        all
+        lint_files(&analyses)
     };
 
-    if opts.json {
-        match serde_json::to_string_pretty(&findings) {
-            Ok(json) => println!("{json}"),
-            Err(e) => {
-                eprintln!("error: cannot serialize findings: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    } else {
-        for f in &findings {
-            println!("{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
-        }
-        if findings.is_empty() {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = write_report(&mut stdout, &report, opts.format) {
+        eprintln!("error: cannot write report: {e}");
+        return ExitCode::from(2);
+    }
+    if opts.format != Format::Text {
+        // The human summary goes to stderr so machine output stays pure.
+        if report.findings.is_empty() {
             eprintln!("pmr-lint: clean");
         } else {
-            eprintln!("pmr-lint: {} finding(s)", findings.len());
+            eprintln!("pmr-lint: {} finding(s)", report.findings.len());
         }
     }
 
-    if opts.deny_all && !findings.is_empty() {
+    if opts.deny_all && !report.findings.is_empty() {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

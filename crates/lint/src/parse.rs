@@ -1,0 +1,749 @@
+//! A lightweight item-level parser on top of [`crate::lexer`].
+//!
+//! The flow-aware passes ([`crate::conc`], [`crate::taint`]) need more
+//! structure than a token stream: which function a token belongs to, what
+//! type an `impl` block targets, what a struct's fields are typed as, and
+//! which calls a function body makes. This module recovers exactly that —
+//! and nothing more. It is *not* a Rust parser: expressions stay as token
+//! ranges, types stay as token slices, and anything the recovery cannot
+//! classify is simply absent from the output. Like the lexer, the parser
+//! is loss-tolerant by construction: an unrecognized construct can only
+//! produce a false negative downstream, never a panic and never a false
+//! positive on code that was parsed correctly.
+//!
+//! Invariants (pinned by the workspace round-trip test):
+//! * parsing never panics, on any input;
+//! * every recorded token index is in-bounds for the file's token vector;
+//! * every body range is a matched `{`..`}` pair with `open <= close`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "loop", "return", "let", "else", "in", "as", "move", "fn",
+    "where", "use",
+];
+
+/// One call expression recovered from a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// The callee's final path segment (`send` in `tx.send(..)` and in
+    /// `channel::send(..)` alike).
+    pub name: String,
+    /// Path segments before the name for path calls (`["channel"]` for
+    /// `channel::bounded(..)`); empty for plain and method calls.
+    pub path: Vec<String>,
+    /// For method calls: the receiver's trailing ident chain, outermost
+    /// first (`["self", "senders"]` for `self.senders[i].send(..)` — index
+    /// expressions are skipped over). Idents that are themselves call
+    /// results carry a `()` suffix (`["stdout()"]` for `stdout().lock()`).
+    pub receiver: Vec<String>,
+    /// Whether this is a `.name(..)` method call.
+    pub is_method: bool,
+    /// Whether this is a `name!(..)` macro invocation.
+    pub is_macro: bool,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+    /// 1-based source column of the callee name.
+    pub col: u32,
+}
+
+/// One `fn` item (free function, inherent or trait method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The self type of the enclosing `impl` block, if any.
+    pub self_type: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token indices of the body's `{` and `}`; `None` for bodiless trait
+    /// method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]` module or carries a
+    /// `#[test]` attribute.
+    pub is_test: bool,
+    /// Every call expression in the body, in source order.
+    pub calls: Vec<Call>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+}
+
+/// One struct field, kept as a name plus its type's token texts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// The struct the field belongs to.
+    pub owner: String,
+    /// The field's name.
+    pub name: String,
+    /// The field type's token texts, in order (`["Vec", "<", "Sender",
+    /// "<", "ShardMsg", ">", ">"]`).
+    pub type_toks: Vec<String>,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// The parsed form of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every struct field, in source order.
+    pub fields: Vec<FieldDef>,
+}
+
+impl ParsedFile {
+    /// The innermost function whose body contains token `idx`.
+    pub fn fn_at(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| idx >= a && idx <= b))
+            .min_by_key(|f| f.body.map(|(a, b)| b - a).unwrap_or(usize::MAX))
+    }
+}
+
+/// Match `{` at `open` to its closing `}`; returns the last token on
+/// unbalanced input (tolerant, never panics).
+pub(crate) fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip one `#[...]` attribute starting at `idx` (the `#`); returns the
+/// index just past the closing `]`, or `idx` if no attribute starts here.
+pub(crate) fn skip_attr(toks: &[Tok], idx: usize) -> usize {
+    if !(toks.get(idx).is_some_and(|t| t.text == "#")
+        && toks.get(idx + 1).is_some_and(|t| t.text == "["))
+    {
+        return idx;
+    }
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(idx + 1) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items and `#[test]`
+/// functions.
+pub(crate) fn find_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+            && toks.get(i + 2).is_some_and(|t| t.text == "cfg")
+            && toks.get(i + 3).is_some_and(|t| t.text == "(")
+            && toks.get(i + 4).is_some_and(|t| t.text == "test")
+            && toks.get(i + 5).is_some_and(|t| t.text == ")")
+            && toks.get(i + 6).is_some_and(|t| t.text == "]");
+        let is_test_attr = toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+            && toks.get(i + 2).is_some_and(|t| t.text == "test")
+            && toks.get(i + 3).is_some_and(|t| t.text == "]");
+        if is_cfg_test || is_test_attr {
+            // Skip this and any further attributes, then cover the item.
+            let mut j = skip_attr(toks, i);
+            while toks.get(j).is_some_and(|t| t.text == "#") {
+                j = skip_attr(toks, j);
+            }
+            // Find the item's opening brace (stop at `;` — `#[cfg(test)]
+            // use ...;` has no body).
+            let mut open = None;
+            for (k, t) in toks.iter().enumerate().skip(j) {
+                match t.text.as_str() {
+                    "{" => {
+                        open = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            if let Some(open) = open {
+                let close = match_brace(toks, open);
+                ranges.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Parse one lexed file into its item structure.
+pub fn parse(path: &str, toks: &[Tok]) -> ParsedFile {
+    let test_ranges = find_test_ranges(toks);
+    let in_test = |idx: usize| -> bool { test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b) };
+
+    let mut out = ParsedFile { path: path.to_owned(), ..ParsedFile::default() };
+    // Impl contexts as (self_type, body_open, body_close), innermost last.
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                if let Some((self_type, open)) = parse_impl_header(toks, i) {
+                    let close = match_brace(toks, open);
+                    impls.push((self_type, open, close));
+                }
+                i += 1;
+            }
+            "struct" => {
+                parse_struct(toks, i, &mut out.fields);
+                i += 1;
+            }
+            "fn" => {
+                let self_type = impls
+                    .iter()
+                    .filter(|&&(_, a, b)| i >= a && i <= b)
+                    .min_by_key(|&&(_, a, b)| b - a)
+                    .map(|(name, _, _)| name.clone());
+                if let Some(item) = parse_fn(toks, i, self_type, in_test(i)) {
+                    let next = item.body.map(|(open, _)| open + 1).unwrap_or(i + 1);
+                    out.fns.push(item);
+                    // Step *into* the body so nested fns/impls are seen.
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Recover an `impl` block's self type and its body's opening brace.
+/// Handles `impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`,
+/// `impl<'a> Trait<'a> for Foo<'a>` and `where` clauses.
+fn parse_impl_header(toks: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Skip the generic parameter list, if any.
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(toks, i)?;
+    }
+    // Collect path segments until `for`, `where` or `{`; remember the last
+    // ident of the last path seen — after a `for`, the collection restarts
+    // so the self type wins over the trait.
+    let mut last_ident: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "for") => {
+                last_ident = None;
+                i += 1;
+            }
+            (TokKind::Ident, "where") => break,
+            (TokKind::Ident, _) => {
+                last_ident = Some(t.text.clone());
+                i += 1;
+            }
+            (TokKind::Punct, "<") => i = skip_angles(toks, i)?,
+            (TokKind::Punct, "{") => break,
+            (TokKind::Punct, ";") => return None, // `impl Trait for Type;`-ish
+            _ => i += 1,
+        }
+    }
+    // Find the body's `{` from here (skipping a `where` clause's bounds).
+    let open = toks[i..].iter().position(|t| t.text == "{").map(|p| p + i)?;
+    last_ident.map(|name| (name, open))
+}
+
+/// Skip a balanced `<...>` group starting at `open` (the `<`). Returns the
+/// index just past the closing `>`, or `None` when unbalanced.
+fn skip_angles(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            // A group that runs into item structure is not a generic list.
+            "{" | ";" => return None,
+            _ => {}
+        }
+        i += 1;
+        // Defensive cap: a pathological `<` chain cannot stall the parser.
+        if i > open + 256 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Recover `struct Name { field: Type, ... }` fields. Tuple and unit
+/// structs contribute nothing.
+fn parse_struct(toks: &[Tok], struct_idx: usize, fields: &mut Vec<FieldDef>) {
+    let Some(name_tok) = toks.get(struct_idx + 1) else { return };
+    if name_tok.kind != TokKind::Ident {
+        return;
+    }
+    let owner = name_tok.text.clone();
+    let mut i = struct_idx + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        match skip_angles(toks, i) {
+            Some(next) => i = next,
+            None => return,
+        }
+    }
+    // `where` clauses can precede the brace; scan to `{` or give up at `;`
+    // (a tuple/unit struct).
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => break,
+            ";" | "(" => return,
+            _ => i += 1,
+        }
+    }
+    let open = i;
+    if open >= toks.len() {
+        return;
+    }
+    let close = match_brace(toks, open);
+    let mut j = open + 1;
+    while j < close {
+        // Skip attributes and visibility before each field.
+        while toks.get(j).is_some_and(|t| t.text == "#") {
+            j = skip_attr(toks, j);
+        }
+        if toks.get(j).is_some_and(|t| t.text == "pub") {
+            j += 1;
+            if toks.get(j).is_some_and(|t| t.text == "(") {
+                // `pub(crate)` etc.
+                j = skip_parens(toks, j);
+            }
+        }
+        let (Some(name), Some(colon)) = (toks.get(j), toks.get(j + 1)) else { break };
+        if name.kind != TokKind::Ident || colon.text != ":" {
+            // Lost sync (e.g. a nested item); bail out of this struct.
+            break;
+        }
+        // The type runs to the next comma at angle/paren depth 0.
+        let mut k = j + 2;
+        let mut angle = 0i64;
+        let mut paren = 0i64;
+        let mut type_toks = Vec::new();
+        while k < close {
+            let text = toks[k].text.as_str();
+            match text {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "," if angle <= 0 && paren <= 0 => break,
+                _ => {}
+            }
+            type_toks.push(toks[k].text.clone());
+            k += 1;
+        }
+        fields.push(FieldDef {
+            owner: owner.clone(),
+            name: name.text.clone(),
+            line: name.line,
+            type_toks,
+        });
+        j = k + 1; // past the comma
+    }
+}
+
+/// Skip a balanced `(...)` group starting at `open`. Returns the index just
+/// past the closing `)`.
+fn skip_parens(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Recover one `fn` item starting at the `fn` keyword.
+fn parse_fn(
+    toks: &[Tok],
+    fn_idx: usize,
+    self_type: Option<String>,
+    is_test: bool,
+) -> Option<FnItem> {
+    let name_tok = toks.get(fn_idx + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn` inside a type like `Fn(..)` lexes differently; be safe
+    }
+    // Scan past generics and the parameter list, then to `{` or `;`. The
+    // return type and where clause carry no braces of their own.
+    let mut i = fn_idx + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(toks, i)?;
+    }
+    if toks.get(i).is_some_and(|t| t.text == "(") {
+        i = skip_parens(toks, i);
+    } else {
+        return None; // not a function item after all
+    }
+    let mut body = None;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => {
+                body = Some((i, match_brace(toks, i)));
+                break;
+            }
+            ";" => break, // bodiless trait method
+            _ => i += 1,
+        }
+    }
+    let calls = match body {
+        Some((open, close)) => collect_calls(toks, open, close),
+        None => Vec::new(),
+    };
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        self_type,
+        sig_start: fn_idx,
+        body,
+        is_test,
+        calls,
+        line: toks[fn_idx].line,
+        col: toks[fn_idx].col,
+    })
+}
+
+/// Every call expression between `open` and `close` (a body's braces).
+fn collect_calls(toks: &[Tok], open: usize, close: usize) -> Vec<Call> {
+    let mut calls = Vec::new();
+    let close = close.min(toks.len().saturating_sub(1));
+    for i in (open + 1)..close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Definition sites are not calls.
+        if i >= 1 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|u| u.text.as_str());
+        let is_macro = next == Some("!") && toks.get(i + 2).is_some_and(|u| u.text == "(");
+        let is_call = next == Some("(")
+            // `name::<T>(..)` — a turbofish between name and arguments.
+            || (next == Some(":")
+                && toks.get(i + 2).is_some_and(|u| u.text == ":")
+                && toks.get(i + 3).is_some_and(|u| u.text == "<"));
+        if !is_macro && !is_call {
+            continue;
+        }
+        let is_method = i >= 1 && toks[i - 1].text == ".";
+        let mut path = Vec::new();
+        if !is_method && i >= 3 && toks[i - 1].text == ":" && toks[i - 2].text == ":" {
+            // Collect the path prefix, innermost-last.
+            let mut k = i;
+            while k >= 3
+                && toks[k - 1].text == ":"
+                && toks[k - 2].text == ":"
+                && toks[k - 3].kind == TokKind::Ident
+            {
+                path.push(toks[k - 3].text.clone());
+                k -= 3;
+            }
+            path.reverse();
+        }
+        let receiver = if is_method { receiver_chain(toks, i - 1) } else { Vec::new() };
+        calls.push(Call {
+            name: t.text.clone(),
+            path,
+            receiver,
+            is_method,
+            is_macro,
+            tok: i,
+            line: t.line,
+            col: t.col,
+        });
+    }
+    calls
+}
+
+/// Walk a method call's receiver chain backwards from the `.` at `dot`.
+/// Returns the trailing ident chain, outermost first; index expressions are
+/// skipped, call results keep a `()` marker. Stops (and truncates) at
+/// anything else — a literal, a closing brace, an operator.
+pub(crate) fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut i = dot; // points at the `.` (or `.` of the next hop)
+    while i >= 1 {
+        let mut j = i - 1; // candidate end of the previous segment
+                           // Skip over one or more index groups: `xs[k]` or `xs[k][l]`.
+        let mut guard = 0;
+        while toks.get(j).is_some_and(|t| t.text == "]") && guard < 8 {
+            let mut depth = 0i64;
+            let mut k = j;
+            loop {
+                match toks[k].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return done(chain);
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                return done(chain);
+            }
+            j = k - 1;
+            guard += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.text == ")") {
+            // A call result: find the matching `(` and the callee ident.
+            let mut depth = 0i64;
+            let mut k = j;
+            loop {
+                match toks[k].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return done(chain);
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].kind == TokKind::Ident {
+                chain.push(format!("{}()", toks[k - 1].text));
+                if k >= 2 && toks[k - 2].text == "." {
+                    i = k - 2;
+                    continue;
+                }
+            }
+            return done(chain);
+        }
+        match toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident => {
+                chain.push(t.text.clone());
+                if j >= 1 && toks[j - 1].text == "." {
+                    i = j - 1;
+                    continue;
+                }
+                return done(chain);
+            }
+            _ => return done(chain),
+        }
+    }
+    done(chain)
+}
+
+fn done(mut chain: Vec<String>) -> Vec<String> {
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse("crates/x/src/lib.rs", &lex(src).toks)
+    }
+
+    #[test]
+    fn recovers_free_fns_and_methods() {
+        let p = parsed(
+            "fn free() { helper(); }\n\
+             struct S { x: u32 }\n\
+             impl S {\n    fn method(&self) -> u32 { self.x }\n}\n\
+             impl Clone for S {\n    fn clone(&self) -> S { S { x: self.x } }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.self_type.as_deref())).collect();
+        assert_eq!(
+            names,
+            [("free", None), ("method", Some("S")), ("clone", Some("S"))],
+            "impl-for resolves to the self type, not the trait"
+        );
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn struct_fields_keep_their_type_tokens() {
+        let p = parsed(
+            "pub struct Engine {\n\
+                 senders: Vec<Sender<ShardMsg>>,\n\
+                 pub reply_rx: Receiver<ShardReply>,\n\
+             }\n",
+        );
+        assert_eq!(p.fields.len(), 2);
+        assert_eq!(p.fields[0].owner, "Engine");
+        assert_eq!(p.fields[0].name, "senders");
+        assert!(p.fields[0].type_toks.contains(&"Sender".to_owned()));
+        assert!(p.fields[0].type_toks.contains(&"ShardMsg".to_owned()));
+        assert_eq!(p.fields[1].name, "reply_rx");
+        assert!(p.fields[1].type_toks.contains(&"Receiver".to_owned()));
+    }
+
+    #[test]
+    fn method_calls_carry_receiver_chains() {
+        let p = parsed(
+            "fn f(&self) {\n\
+                 self.senders[shard].send(msg);\n\
+                 self.reply_rx.recv();\n\
+                 stdout().lock();\n\
+                 x.a.b.c();\n\
+             }\n",
+        );
+        let calls = &p.fns[0].calls;
+        let send = calls.iter().find(|c| c.name == "send").expect("send call");
+        assert_eq!(send.receiver, ["self", "senders"], "index expressions are skipped");
+        let recv = calls.iter().find(|c| c.name == "recv").expect("recv call");
+        assert_eq!(recv.receiver, ["self", "reply_rx"]);
+        let lock = calls.iter().find(|c| c.name == "lock").expect("lock call");
+        assert_eq!(lock.receiver, ["stdout()"]);
+        let c = calls.iter().find(|c| c.name == "c").expect("chain call");
+        assert_eq!(c.receiver, ["x", "a", "b"]);
+    }
+
+    #[test]
+    fn path_calls_and_macros_are_classified() {
+        let p = parsed(
+            "fn f() {\n\
+                 let (tx, rx) = channel::bounded(4);\n\
+                 writeln!(out, \"x\");\n\
+                 collect::<Vec<u32>>();\n\
+             }\n",
+        );
+        let calls = &p.fns[0].calls;
+        let bounded = calls.iter().find(|c| c.name == "bounded").expect("bounded");
+        assert_eq!(bounded.path, ["channel"]);
+        assert!(calls.iter().any(|c| c.name == "writeln" && c.is_macro));
+        assert!(calls.iter().any(|c| c.name == "collect"), "turbofish calls are calls");
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let p = parsed(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { live(); }\n}\n",
+        );
+        let live = p.fns.iter().find(|f| f.name == "live").expect("live");
+        assert!(!live.is_test);
+        let t = p.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(t.is_test);
+    }
+
+    #[test]
+    fn nested_fns_and_closures_do_not_hide_items() {
+        let p = parsed(
+            "fn outer() {\n    fn inner() { leaf(); }\n    let f = || helper();\n}\n\
+             fn after() {}\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "after"]);
+        // The closure's call is attributed to `outer` (its lexical body).
+        let outer = &p.fns[0];
+        assert!(outer.calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_their_self_type() {
+        let p = parsed(
+            "impl<'a, T: Clone> Wrapper<'a, T> {\n    fn get(&self) {}\n}\n\
+             impl<T> From<T> for Boxed<T> {\n    fn from(t: T) -> Boxed<T> { Boxed(t) }\n}\n",
+        );
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("Boxed"));
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl",
+            "impl {",
+            "struct",
+            "struct S {",
+            "fn f( {",
+            "fn f() {",
+            "impl < X {",
+            "struct S < T {",
+            "fn f() { x.(); }",
+            ") } { (",
+        ] {
+            let _ = parsed(src); // must not panic
+        }
+    }
+
+    #[test]
+    fn spans_are_in_bounds() {
+        let src = "impl S { fn m(&self) { self.x.y(); helper(); } }";
+        let toks = lex(src).toks;
+        let p = parse("x.rs", &toks);
+        for f in &p.fns {
+            assert!(f.sig_start < toks.len());
+            if let Some((a, b)) = f.body {
+                assert!(a <= b && b < toks.len());
+            }
+            for c in &f.calls {
+                assert!(c.tok < toks.len());
+            }
+        }
+    }
+}

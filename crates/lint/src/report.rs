@@ -1,0 +1,158 @@
+//! Rendering a [`LintReport`] for humans, machines, and GitHub.
+//!
+//! * **text** — `path:line:col: rule: message` lines plus the per-rule
+//!   allow-count audit: when `--deny-all` passes, the audit is the
+//!   complete inventory of places the workspace overrides the linter, so
+//!   reviewers can see suppression creep at a glance.
+//! * **json** — the findings array (the CI artifact format; stable since
+//!   PR 2).
+//! * **github** — GitHub Actions workflow commands
+//!   (`::warning file=…,line=…,col=…::…`), one per finding, so findings
+//!   surface as inline annotations on pull requests.
+
+use std::io::{self, Write};
+
+use crate::LintReport;
+
+/// Output format of the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable findings + allow audit.
+    Text,
+    /// Machine-readable findings array.
+    Json,
+    /// GitHub Actions `::warning` annotations.
+    Github,
+}
+
+impl Format {
+    /// Parse a `--format` value.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+/// Render `report` to `out` in the requested format.
+pub fn write_report(out: &mut dyn Write, report: &LintReport, format: Format) -> io::Result<()> {
+    match format {
+        Format::Text => write_text(out, report),
+        Format::Json => {
+            let json = serde_json::to_string_pretty(&report.findings)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            writeln!(out, "{json}")
+        }
+        Format::Github => write_github(out, report),
+    }
+}
+
+fn write_text(out: &mut dyn Write, report: &LintReport) -> io::Result<()> {
+    for f in &report.findings {
+        writeln!(out, "{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message)?;
+    }
+    if report.findings.is_empty() {
+        writeln!(out, "pmr-lint: clean")?;
+    } else {
+        writeln!(out, "pmr-lint: {} finding(s)", report.findings.len())?;
+    }
+    if !report.allows.is_empty() {
+        let total: usize = report.allows.values().map(Vec::len).sum();
+        writeln!(out, "\nallow audit ({total} justified allow(s)):")?;
+        for (rule, sites) in &report.allows {
+            let list: Vec<String> =
+                sites.iter().map(|s| format!("{}:{}", s.path, s.line)).collect();
+            writeln!(out, "  {:<20} {:>3}  {}", rule, sites.len(), list.join(", "))?;
+        }
+    }
+    Ok(())
+}
+
+/// GitHub workflow commands interpret `%`, `\r` and `\n` as terminators;
+/// they must be percent-encoded inside the message payload.
+fn escape_annotation(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+fn write_github(out: &mut dyn Write, report: &LintReport) -> io::Result<()> {
+    for f in &report.findings {
+        writeln!(
+            out,
+            "::warning file={},line={},col={},title=pmr-lint {}::{}",
+            f.path,
+            f.line,
+            f.col,
+            f.rule,
+            escape_annotation(&f.message)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_source, lint_files};
+
+    fn rendered(source: &str, format: Format) -> String {
+        let report = lint_files(&[analyze_source("crates/x/src/lib.rs", source)]);
+        let mut buf = Vec::new();
+        write_report(&mut buf, &report, format).expect("write to Vec cannot fail");
+        String::from_utf8(buf).expect("report output is UTF-8")
+    }
+
+    const VIOLATING: &str = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+
+    #[test]
+    fn text_format_reports_findings_and_audit() {
+        let out = rendered(VIOLATING, Format::Text);
+        assert!(out.contains("crates/x/src/lib.rs:1:33: lib-unwrap:"), "got:\n{out}");
+        assert!(out.contains("pmr-lint: 1 finding(s)"));
+
+        let allowed = "fn f(x: Option<u32>) -> u32 {\n\
+                       // pmr-lint: allow(lib-unwrap): caller guarantees Some\n\
+                       x.unwrap()\n\
+                       }\n";
+        let out = rendered(allowed, Format::Text);
+        assert!(out.contains("pmr-lint: clean"));
+        assert!(out.contains("allow audit (1 justified allow(s)):"), "got:\n{out}");
+        assert!(out.contains("lib-unwrap"));
+        assert!(out.contains("crates/x/src/lib.rs:2"));
+    }
+
+    #[test]
+    fn github_format_emits_warning_annotations() {
+        let out = rendered(VIOLATING, Format::Github);
+        assert!(
+            out.starts_with(
+                "::warning file=crates/x/src/lib.rs,line=1,col=33,title=pmr-lint lib-unwrap::"
+            ),
+            "got:\n{out}"
+        );
+        assert_eq!(out.lines().count(), 1);
+    }
+
+    #[test]
+    fn github_messages_escape_newlines_and_percent() {
+        assert_eq!(escape_annotation("a%b\nc"), "a%25b%0Ac");
+    }
+
+    #[test]
+    fn json_format_is_the_findings_array() {
+        let out = rendered(VIOLATING, Format::Json);
+        let parsed: Vec<serde_json::Value> = serde_json::from_str(&out).expect("valid JSON array");
+        assert_eq!(parsed.len(), 1);
+        assert!(out.contains("\"rule\": \"lib-unwrap\""), "got:\n{out}");
+    }
+
+    #[test]
+    fn format_parse_accepts_exactly_the_three_formats() {
+        assert_eq!(Format::parse("text"), Some(Format::Text));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("github"), Some(Format::Github));
+        assert_eq!(Format::parse("xml"), None);
+    }
+}

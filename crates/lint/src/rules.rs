@@ -1,52 +1,120 @@
-//! The rule catalog and the token-stream analyses behind it.
+//! The rule registry and the per-file token-stream rules.
 //!
 //! Every rule is heuristic by design — the lexer has no type information —
 //! and errs toward false negatives: a construct the analysis cannot prove
 //! hash-ordered, wall-clocked or panicking is never flagged. The repo's
 //! determinism tests remain the ground truth; the linter is the tripwire
 //! that catches the common ways of breaking them *before* a sweep runs.
+//!
+//! [`REGISTRY`] is the single source of truth for rule names: the checks,
+//! the suppress-directive validation (`unknown-rule`), `--help`, and the
+//! allow-count audit all read it — adding a rule anywhere else is a bug.
 
 use serde::Serialize;
 
-use crate::lexer::{lex, Tok, TokKind};
-use crate::suppress::parse_suppressions;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{find_test_ranges, match_brace};
 
-/// The five determinism/correctness rules plus the two meta rules that
-/// police the suppression mechanism itself.
-pub const RULES: [(&str, &str); 7] = [
-    (
-        "nondet-iter",
-        "iterating a HashMap/HashSet where the loop body feeds serialization, float \
-         accumulation or Vec::push without a subsequent sort",
-    ),
-    (
-        "unseeded-rng",
-        "thread_rng/from_entropy/from_os_rng/OsRng: every random decision must derive \
-         from an explicit seed",
-    ),
-    (
-        "wall-clock",
-        "Instant::now/SystemTime::now outside the timing layer (core::timing, \
-         recommender timing blocks, the obs clock, bench binaries)",
-    ),
-    ("lib-unwrap", "unwrap()/expect()/panic! in non-test library code"),
-    (
-        "float-order",
-        ".sum::<f64>() over a hash-ordered collection: float addition is not \
-         associative, so the iteration order must be canonical",
-    ),
-    ("bare-allow", "a pmr-lint allow directive without a justification"),
-    ("unknown-rule", "a pmr-lint allow directive naming a rule that does not exist"),
+/// How a rule computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Per-file pattern over the token stream.
+    Token,
+    /// Workspace-wide flow analysis over the call graph ([`crate::conc`],
+    /// [`crate::taint`]).
+    Flow,
+    /// Polices the suppression mechanism itself; not suppressable targets
+    /// in the usual sense.
+    Meta,
+}
+
+/// One registered rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// The name used in findings and `allow(...)` directives.
+    pub name: &'static str,
+    /// Token, Flow or Meta.
+    pub kind: RuleKind,
+    /// One-line description for `--help` and docs.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in display order: five token rules, four
+/// flow rules, two meta rules.
+pub const REGISTRY: [Rule; 11] = [
+    Rule {
+        name: "nondet-iter",
+        kind: RuleKind::Token,
+        summary: "iterating a HashMap/HashSet where the loop body feeds serialization, float \
+                  accumulation or Vec::push without a subsequent sort",
+    },
+    Rule {
+        name: "unseeded-rng",
+        kind: RuleKind::Token,
+        summary: "thread_rng/from_entropy/from_os_rng/OsRng: every random decision must derive \
+                  from an explicit seed",
+    },
+    Rule {
+        name: "wall-clock",
+        kind: RuleKind::Token,
+        summary: "Instant::now/SystemTime::now outside the timing layer (core::timing, \
+                  recommender timing blocks, the obs clock, bench binaries)",
+    },
+    Rule {
+        name: "lib-unwrap",
+        kind: RuleKind::Token,
+        summary: "unwrap()/expect()/panic! in non-test library code",
+    },
+    Rule {
+        name: "float-order",
+        kind: RuleKind::Token,
+        summary: ".sum::<f64>() over a hash-ordered collection: float addition is not \
+                  associative, so the iteration order must be canonical",
+    },
+    Rule {
+        name: "blocking-under-lock",
+        kind: RuleKind::Flow,
+        summary: "a blocking channel send/recv (directly or through a call chain) while a \
+                  lock guard is live — the drain side may need that lock",
+    },
+    Rule {
+        name: "lock-order-cycle",
+        kind: RuleKind::Flow,
+        summary: "the cross-function lock-acquisition-order graph has a cycle (or a lock is \
+                  re-acquired under its own guard); impose one global order",
+    },
+    Rule {
+        name: "channel-cycle",
+        kind: RuleKind::Flow,
+        summary: "a struct blocking-sends to and blocking-recvs from the same peer struct; \
+                  a full forward queue plus an un-drained reply queue deadlocks",
+    },
+    Rule {
+        name: "nondet-flow",
+        kind: RuleKind::Flow,
+        summary: "serialization reachable (through the call graph) from hash-ordered \
+                  iteration with no sort in between",
+    },
+    Rule {
+        name: "bare-allow",
+        kind: RuleKind::Meta,
+        summary: "a pmr-lint allow directive without a justification",
+    },
+    Rule {
+        name: "unknown-rule",
+        kind: RuleKind::Meta,
+        summary: "a pmr-lint allow directive naming a rule that does not exist",
+    },
 ];
 
-/// The names of the five enforceable rules (meta rules excluded).
-pub fn rule_names() -> Vec<&'static str> {
-    RULES.iter().take(5).map(|(n, _)| *n).collect()
+/// The names of the enforceable rules (meta rules excluded).
+pub fn rule_names() -> impl Iterator<Item = &'static str> {
+    REGISTRY.iter().filter(|r| r.kind != RuleKind::Meta).map(|r| r.name)
 }
 
 /// Whether `name` is any known rule (including the meta rules).
 pub fn is_known_rule(name: &str) -> bool {
-    RULES.iter().any(|(n, _)| *n == name)
+    REGISTRY.iter().any(|r| r.name == name)
 }
 
 /// One lint finding.
@@ -64,26 +132,24 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Lint one source file given its workspace-relative path. The path drives
-/// the per-rule allowlists (timing layer, bench binaries) and the
-/// library/binary/test distinction, so callers must pass it in repo form
-/// (forward slashes, relative to the workspace root).
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let ctx = FileContext::build(rel_path, &lexed.toks);
-    let (suppressions, mut findings) = parse_suppressions(rel_path, &lexed.comments, &lexed.toks);
+/// Run the five per-file token rules over one file. Suppressions, the
+/// workspace flow passes, sorting and deduplication live in
+/// [`crate::lint_files`] — this is the raw per-file layer.
+pub(crate) fn token_rules(rel_path: &str, toks: &[Tok]) -> Vec<Finding> {
+    let ctx = FileContext::build(rel_path, toks);
+    let mut findings = Vec::new();
     check_nondet_iter(&ctx, &mut findings);
     check_unseeded_rng(&ctx, &mut findings);
     check_wall_clock(&ctx, &mut findings);
     check_lib_unwrap(&ctx, &mut findings);
     check_float_order(&ctx, &mut findings);
-    findings.retain(|f| !suppressions.is_suppressed(&f.rule, f.line));
-    findings.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
-    // A single construct can trip one rule through several detectors (a
-    // `for` loop over `m.keys()` matches both the chain and the loop
-    // pattern); report it once.
-    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
     findings
+}
+
+/// Construct a finding at an explicit position (used by the flow passes,
+/// which report at call/field sites rather than at a token in hand).
+pub(crate) fn finding_at(rule: &str, path: &str, line: u32, col: u32, message: String) -> Finding {
+    Finding { rule: rule.to_owned(), path: path.to_owned(), line, col, message }
 }
 
 /// Everything the rules need to know about one file.
@@ -146,99 +212,6 @@ fn is_library_path(rel_path: &str) -> bool {
     in_src && !rel_path.contains("/bin/") && !rel_path.ends_with("main.rs")
 }
 
-/// Match `{` at `open` to its closing `}`; returns the last token on
-/// unbalanced input (tolerant, never panics).
-fn match_brace(toks: &[Tok], open: usize) -> usize {
-    let mut depth = 0usize;
-    for (i, t) in toks.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct {
-            match t.text.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        return i;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    toks.len().saturating_sub(1)
-}
-
-/// Skip one `#[...]` attribute starting at `idx` (the `#`); returns the
-/// index just past the closing `]`, or `idx` if no attribute starts here.
-fn skip_attr(toks: &[Tok], idx: usize) -> usize {
-    if !(toks.get(idx).is_some_and(|t| t.text == "#")
-        && toks.get(idx + 1).is_some_and(|t| t.text == "["))
-    {
-        return idx;
-    }
-    let mut depth = 0usize;
-    for (i, t) in toks.iter().enumerate().skip(idx + 1) {
-        match t.text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
-                }
-            }
-            _ => {}
-        }
-    }
-    toks.len()
-}
-
-/// Token-index ranges covered by `#[cfg(test)]` items and `#[test]`
-/// functions.
-fn find_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        let is_cfg_test = toks[i].text == "#"
-            && toks.get(i + 1).is_some_and(|t| t.text == "[")
-            && toks.get(i + 2).is_some_and(|t| t.text == "cfg")
-            && toks.get(i + 3).is_some_and(|t| t.text == "(")
-            && toks.get(i + 4).is_some_and(|t| t.text == "test")
-            && toks.get(i + 5).is_some_and(|t| t.text == ")")
-            && toks.get(i + 6).is_some_and(|t| t.text == "]");
-        let is_test_attr = toks[i].text == "#"
-            && toks.get(i + 1).is_some_and(|t| t.text == "[")
-            && toks.get(i + 2).is_some_and(|t| t.text == "test")
-            && toks.get(i + 3).is_some_and(|t| t.text == "]");
-        if is_cfg_test || is_test_attr {
-            // Skip this and any further attributes, then cover the item.
-            let mut j = skip_attr(toks, i);
-            while toks.get(j).is_some_and(|t| t.text == "#") {
-                j = skip_attr(toks, j);
-            }
-            // Find the item's opening brace (stop at `;` — `#[cfg(test)]
-            // use ...;` has no body).
-            let mut open = None;
-            for (k, t) in toks.iter().enumerate().skip(j) {
-                match t.text.as_str() {
-                    "{" => {
-                        open = Some(k);
-                        break;
-                    }
-                    ";" => break,
-                    _ => {}
-                }
-            }
-            if let Some(open) = open {
-                let close = match_brace(toks, open);
-                ranges.push((i, close));
-                i = close + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    ranges
-}
-
 /// Token-index ranges of every function body.
 fn find_fn_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut bodies = Vec::new();
@@ -261,20 +234,31 @@ fn find_fn_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
 
 /// Identifiers declared or annotated as `HashMap`/`HashSet` in this file:
 /// `let [mut] x = HashMap::...`, `x: HashMap<...>` (bindings, parameters
-/// and struct fields alike).
-fn find_hash_idents(toks: &[Tok]) -> Vec<String> {
+/// and struct fields alike). Sorted and deduped, so callers may
+/// binary-search.
+pub(crate) fn find_hash_idents(toks: &[Tok]) -> Vec<String> {
     let mut idents = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
             continue;
         }
-        // `name: HashMap<...>` — annotation; exclude `path::HashMap`.
-        if i >= 2
-            && toks[i - 1].text == ":"
-            && toks[i - 2].kind == TokKind::Ident
-            && toks.get(i.wrapping_sub(3)).is_none_or(|t| t.text != ":")
+        // `name: [&[mut]|&'a] HashMap<...>` — annotation, including
+        // reference-typed fn parameters; `path::HashMap` never matches
+        // because the walk lands on the path's second `:`.
+        let mut k = i;
+        while k >= 1
+            && (toks[k - 1].text == "&"
+                || toks[k - 1].text == "mut"
+                || toks[k - 1].kind == TokKind::Lifetime)
         {
-            idents.push(toks[i - 2].text.clone());
+            k -= 1;
+        }
+        if k >= 2
+            && toks[k - 1].text == ":"
+            && toks[k - 2].kind == TokKind::Ident
+            && toks.get(k.wrapping_sub(3)).is_none_or(|t| t.text != ":")
+        {
+            idents.push(toks[k - 2].text.clone());
         }
         // `let [mut] name = HashMap::...` — inferred binding.
         if i >= 2 && toks[i - 1].text == "=" && toks[i - 2].kind == TokKind::Ident {
@@ -286,10 +270,11 @@ fn find_hash_idents(toks: &[Tok]) -> Vec<String> {
     idents
 }
 
-const ITER_METHODS: [&str; 6] = ["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
+pub(crate) const ITER_METHODS: [&str; 6] =
+    ["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
 const SORTISH: [&str; 3] = ["sort", "BTreeMap", "BTreeSet"];
 
-fn is_sortish(t: &Tok) -> bool {
+pub(crate) fn is_sortish(t: &Tok) -> bool {
     t.kind == TokKind::Ident && SORTISH.iter().any(|s| t.text.starts_with(s))
 }
 
@@ -333,7 +318,7 @@ fn region_has_sink(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
 /// The end (token index of `;`) of the statement starting at `from`,
 /// tracking bracket depth so `;` inside closures/blocks doesn't cut the
 /// chain short.
-fn statement_end(toks: &[Tok], from: usize) -> usize {
+pub(crate) fn statement_end(toks: &[Tok], from: usize) -> usize {
     let mut depth = 0i64;
     for (i, t) in toks.iter().enumerate().skip(from) {
         if t.kind == TokKind::Punct {
@@ -356,7 +341,7 @@ fn statement_end(toks: &[Tok], from: usize) -> usize {
 
 /// The start of the statement containing `idx`: just past the previous
 /// top-level `;`, `{` or `}`.
-fn statement_start(toks: &[Tok], idx: usize) -> usize {
+pub(crate) fn statement_start(toks: &[Tok], idx: usize) -> usize {
     let mut depth = 0i64;
     for i in (0..idx).rev() {
         let t = &toks[i];
@@ -610,6 +595,7 @@ fn check_float_order(ctx: &FileContext, findings: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     const LIB: &str = "crates/fake/src/lib.rs";
 

@@ -22,12 +22,22 @@ use crate::rules::{is_known_rule, Finding};
 #[derive(Debug, Clone, Default)]
 pub struct SuppressionTable {
     by_rule: HashMap<String, Vec<u32>>,
+    /// One `(rule, directive line)` entry per valid allow, in file order —
+    /// the raw material of the per-rule allow-count audit.
+    directives: Vec<(String, u32)>,
 }
 
 impl SuppressionTable {
     /// Whether `rule` is suppressed on `line`.
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
         self.by_rule.get(rule).is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// Every valid justified allow in this file as `(rule, line)`, in file
+    /// order. Bare or unknown-rule directives never appear here — they are
+    /// findings, not allows.
+    pub fn directives(&self) -> &[(String, u32)] {
+        &self.directives
     }
 }
 
@@ -71,6 +81,7 @@ pub fn parse_suppressions(
                 ));
                 continue;
             }
+            table.directives.push((rule.clone(), c.line));
             let lines = table.by_rule.entry(rule).or_default();
             lines.push(c.line);
             if let Some(next) = target {

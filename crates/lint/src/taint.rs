@@ -1,0 +1,136 @@
+//! The determinism-taint pass: `nondet-flow`.
+//!
+//! `nondet-iter` fires only when hash-ordered iteration and an
+//! order-sensitive sink meet inside one statement or loop body. This pass
+//! closes the cross-function gap: a fn that *iterates* a `HashMap` in
+//! nondeterministic order taints every caller (transitively, through the
+//! conservative call graph), and a caller that both invokes a tainted fn
+//! and *serializes* — serde, writers, output macros — is reported at the
+//! call site, with the witness chain down to the actual iteration.
+//!
+//! Soundness posture, consistent with the rest of the linter:
+//!
+//! * **sources** are hash iteration (`.iter()`/`.keys()`/`.values()`/… on
+//!   an identifier known to be a `HashMap`/`HashSet`, or a `for` loop over
+//!   one) in a fn with no sorting anywhere in its body — float reductions
+//!   over hash collections are the same tokens, so they ride along;
+//! * **damping**: a fn whose body sorts (or round-trips through a
+//!   `BTreeMap`/`BTreeSet`) is assumed to canonicalize the order it got
+//!   from callees and neither becomes tainted nor propagates taint;
+//! * **sinks** are serialization only (`serialize`, `to_writer`,
+//!   `serde_json::…`, `write!`/`writeln!`/`print!`/`println!`) — an
+//!   intermediate `Vec::push` is order-*preserving*, not order-*observing*,
+//!   and flagging it would double-report every `nondet-iter` site;
+//! * a fn that is itself a source is `nondet-iter`'s business, not ours:
+//!   this rule reports only the cross-function hop, so each defect has one
+//!   home. Test fns are skipped as reporters (test output order is not a
+//!   determinism contract) but still propagate taint to live callers.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::parse::Call;
+use crate::rules::{finding_at, is_sortish, Finding, ITER_METHODS};
+use crate::FileAnalysis;
+
+/// Whether a call is a serialization sink.
+fn is_sink(call: &Call) -> bool {
+    if call.is_macro {
+        return matches!(call.name.as_str(), "write" | "writeln" | "print" | "println");
+    }
+    if call.path.iter().any(|p| p == "serde_json") {
+        return true;
+    }
+    call.is_method && matches!(call.name.as_str(), "serialize" | "to_writer")
+}
+
+/// Per-fn facts: does the body iterate a hash collection, sort, serialize?
+#[derive(Debug, Clone, Copy, Default)]
+struct FnFacts {
+    hash_iter: bool,
+    sortish: bool,
+    sink: bool,
+}
+
+fn facts(files: &[FileAnalysis], graph: &CallGraph, id: usize) -> FnFacts {
+    let file = &files[graph.file_of(id)];
+    let toks = &file.lexed.toks;
+    let item = graph.item(files, id);
+    let Some((open, close)) = item.body else { return FnFacts::default() };
+    let close = close.min(toks.len().saturating_sub(1));
+    let hash_idents = &file.hash_idents;
+
+    let mut f = FnFacts::default();
+    for i in open..=close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if is_sortish(t) {
+            f.sortish = true;
+        }
+        // `h.keys()` / `h.iter()` / … on a known hash identifier.
+        if hash_idents.binary_search(&t.text).is_ok()
+            && toks.get(i + 1).is_some_and(|u| u.text == ".")
+            && toks.get(i + 2).is_some_and(|u| ITER_METHODS.contains(&u.text.as_str()))
+            && toks.get(i + 3).is_some_and(|u| u.text == "(")
+        {
+            f.hash_iter = true;
+        }
+        // `for … in <header mentioning a hash identifier> {`.
+        if t.text == "for" {
+            for u in toks.iter().skip(i + 1).take_while(|u| u.text != "{" && u.text != ";") {
+                if u.kind == TokKind::Ident && hash_idents.binary_search(&u.text).is_ok() {
+                    f.hash_iter = true;
+                }
+            }
+        }
+    }
+    f.sink = item.calls.iter().any(is_sink);
+    f
+}
+
+/// Run the taint pass over the whole workspace.
+pub(crate) fn check(files: &[FileAnalysis], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let per_fn: Vec<FnFacts> = (0..graph.len()).map(|id| facts(files, graph, id)).collect();
+    let seeds: Vec<bool> = per_fn.iter().map(|f| f.hash_iter && !f.sortish).collect();
+    let damp = |id: usize| per_fn[id].sortish;
+    let (tainted, witness) = graph.propagate_up(seeds.clone(), &damp);
+
+    for id in 0..graph.len() {
+        let f = per_fn[id];
+        let item = graph.item(files, id);
+        if !f.sink || f.sortish || seeds[id] || item.is_test {
+            continue;
+        }
+        let file = &files[graph.file_of(id)];
+        for &(ci, callee) in graph.calls_from(id) {
+            if !tainted[callee] {
+                continue;
+            }
+            let call = &item.calls[ci];
+            // Walk the witness chain to the iterating source for the report.
+            let mut chain = vec![callee];
+            chain.extend(graph.witness_path(&witness, callee));
+            let source = *chain.last().unwrap_or(&callee);
+            let src_item = graph.item(files, source);
+            let src_file = &files[graph.file_of(source)];
+            let path = chain
+                .iter()
+                .map(|&c| graph.item(files, c).name.as_str())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            findings.push(finding_at(
+                "nondet-flow",
+                &file.rel_path,
+                call.line,
+                call.col,
+                format!(
+                    "`{}` serializes output but calls `{}`, which reaches hash-ordered \
+                     iteration in `{}` ({}:{}) via {path}; sort before serializing or \
+                     canonicalize the order at the source",
+                    item.name, call.name, src_item.name, src_file.rel_path, src_item.line
+                ),
+            ));
+        }
+    }
+}

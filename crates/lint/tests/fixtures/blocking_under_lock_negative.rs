@@ -1,0 +1,19 @@
+//! Fixture: the guard is dropped (its block ends) before the send blocks.
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+pub struct Hub {
+    seq: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Hub {
+    pub fn publish(&self) {
+        let value = {
+            let guard = self.seq.lock();
+            *guard
+        };
+        self.tx.send(value).ok();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: a blocking channel send while a parking_lot guard is live.
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+pub struct Hub {
+    seq: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Hub {
+    pub fn publish(&self) {
+        let guard = self.seq.lock();
+        self.tx.send(*guard).ok();
+    }
+}

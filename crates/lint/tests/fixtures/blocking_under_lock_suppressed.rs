@@ -1,0 +1,17 @@
+//! Fixture: the violation carries a justified inline allow.
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+pub struct Hub {
+    seq: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Hub {
+    pub fn publish(&self) {
+        let guard = self.seq.lock();
+        // pmr-lint: allow(blocking-under-lock): the consumer never takes seq, so the send cannot wait on this guard
+        self.tx.send(*guard).ok();
+    }
+}

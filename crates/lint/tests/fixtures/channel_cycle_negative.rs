@@ -1,0 +1,29 @@
+//! Fixture: the reply direction is non-blocking (`try_send`), so the wait
+//! cycle cannot close.
+
+use crossbeam::channel::{Receiver, Sender};
+
+pub struct Client {
+    req_tx: Sender<u32>,
+    resp_rx: Receiver<u64>,
+}
+
+pub struct Server {
+    req_rx: Receiver<u32>,
+    resp_tx: Sender<u64>,
+}
+
+impl Client {
+    pub fn call(&self, v: u32) -> u64 {
+        self.req_tx.send(v).ok();
+        self.resp_rx.recv().unwrap_or(0)
+    }
+}
+
+impl Server {
+    pub fn serve(&self) {
+        while let Ok(v) = self.req_rx.recv() {
+            let _ = self.resp_tx.try_send(u64::from(v));
+        }
+    }
+}

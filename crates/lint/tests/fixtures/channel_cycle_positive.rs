@@ -1,0 +1,30 @@
+//! Fixture: a request/reply pair where both sides block in both
+//! directions — a full forward queue plus an un-drained reply queue parks
+//! both threads.
+
+use crossbeam::channel::{Receiver, Sender};
+
+pub struct Client {
+    req_tx: Sender<u32>,
+    resp_rx: Receiver<u64>,
+}
+
+pub struct Server {
+    req_rx: Receiver<u32>,
+    resp_tx: Sender<u64>,
+}
+
+impl Client {
+    pub fn call(&self, v: u32) -> u64 {
+        self.req_tx.send(v).ok();
+        self.resp_rx.recv().unwrap_or(0)
+    }
+}
+
+impl Server {
+    pub fn serve(&self) {
+        while let Ok(v) = self.req_rx.recv() {
+            self.resp_tx.send(u64::from(v)).ok();
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: both sides of the request/reply pair carry a justified allow
+//! (the report lands on each struct's sender field).
+
+use crossbeam::channel::{Receiver, Sender};
+
+pub struct Client {
+    // pmr-lint: allow(channel-cycle): the client drains resp_rx before every send, so the reply queue is empty when it parks
+    req_tx: Sender<u32>,
+    resp_rx: Receiver<u64>,
+}
+
+pub struct Server {
+    req_rx: Receiver<u32>,
+    // pmr-lint: allow(channel-cycle): replies go to an unbounded queue; the server can never park on resp_tx
+    resp_tx: Sender<u64>,
+}
+
+impl Client {
+    pub fn call(&self, v: u32) -> u64 {
+        self.req_tx.send(v).ok();
+        self.resp_rx.recv().unwrap_or(0)
+    }
+}
+
+impl Server {
+    pub fn serve(&self) {
+        while let Ok(v) = self.req_rx.recv() {
+            self.resp_tx.send(u64::from(v)).ok();
+        }
+    }
+}

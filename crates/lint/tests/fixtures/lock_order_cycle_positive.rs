@@ -1,0 +1,22 @@
+//! Fixture: two locks acquired in opposite orders by two methods.
+
+use parking_lot::Mutex;
+
+pub struct Ledger {
+    debits: Mutex<u64>,
+    credits: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn transfer(&self) -> u64 {
+        let d = self.debits.lock();
+        let c = self.credits.lock();
+        *d + *c
+    }
+
+    pub fn audit(&self) -> u64 {
+        let c = self.credits.lock();
+        let d = self.debits.lock();
+        *d - *c
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the reversed order carries a justified inline allow (at the
+//! cycle's earliest witness edge, where the report lands).
+
+use parking_lot::Mutex;
+
+pub struct Ledger {
+    debits: Mutex<u64>,
+    credits: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn transfer(&self) -> u64 {
+        let d = self.debits.lock();
+        // pmr-lint: allow(lock-order-cycle): audit only runs at shutdown, after every transfer thread has joined
+        let c = self.credits.lock();
+        *d + *c
+    }
+
+    pub fn audit(&self) -> u64 {
+        let c = self.credits.lock();
+        let d = self.debits.lock();
+        *d - *c
+    }
+}

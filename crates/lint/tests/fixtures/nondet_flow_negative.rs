@@ -1,0 +1,17 @@
+//! Fixture: the callee canonicalizes the hash order (sorts) before
+//! returning, damping the taint — the serializing caller is clean.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+fn first_key(m: &HashMap<u32, f64>) -> Option<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys.first().copied()
+}
+
+pub fn report(m: &HashMap<u32, f64>, out: &mut dyn Write) {
+    if let Some(k) = first_key(m) {
+        writeln!(out, "first={k}").ok();
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the iteration and the serialization live in *different* fns.
+//! `nondet-iter` sees no sink next to the iteration and no iteration next
+//! to the sink; only the call-graph taint pass connects them.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+fn first_key(m: &HashMap<u32, f64>) -> Option<u32> {
+    let mut found = None;
+    for k in m.keys() {
+        if found.is_none() {
+            found = Some(*k);
+        }
+    }
+    found
+}
+
+pub fn report(m: &HashMap<u32, f64>, out: &mut dyn Write) {
+    if let Some(k) = first_key(m) {
+        writeln!(out, "first={k}").ok();
+    }
+}

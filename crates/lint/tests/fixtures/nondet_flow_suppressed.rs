@@ -1,0 +1,22 @@
+//! Fixture: the cross-function flow carries a justified allow at the call
+//! site the report lands on.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+fn first_key(m: &HashMap<u32, f64>) -> Option<u32> {
+    let mut found = None;
+    for k in m.keys() {
+        if found.is_none() {
+            found = Some(*k);
+        }
+    }
+    found
+}
+
+pub fn report(m: &HashMap<u32, f64>, out: &mut dyn Write) {
+    // pmr-lint: allow(nondet-flow): diagnostic-only output, explicitly exempt from the byte-identity contract
+    if let Some(k) = first_key(m) {
+        writeln!(out, "first={k}").ok();
+    }
+}

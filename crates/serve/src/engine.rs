@@ -28,11 +28,15 @@ use crate::snapshot::{EngineSnapshot, SnapshotHeader, SNAPSHOT_VERSION};
 /// A running sharded serving engine.
 pub struct Engine {
     config: EngineConfig,
+    // pmr-lint: allow(channel-cycle): the engine drains the unbounded reply channel before and while blocking on a full ingest queue, so the cycle cannot fill both ways
     senders: Vec<Sender<ShardMsg>>,
     reply_rx: Receiver<ShardReply>,
     workers: Vec<JoinHandle<()>>,
     next_query: u64,
     answered: BTreeMap<u64, Recommendation>,
+    /// Set when a shard worker dies mid-stream (its [`ShardReply::Aborted`]
+    /// or a disconnected ingest queue); fails the next snapshot barrier.
+    aborted: Option<String>,
 }
 
 impl Engine {
@@ -84,13 +88,21 @@ impl Engine {
         let (reply_tx, reply_rx) = channel::unbounded();
         let mut senders = Vec::with_capacity(runtime.shards);
         let mut workers = Vec::with_capacity(runtime.shards);
-        for partition in partitions {
+        for (shard, partition) in partitions.into_iter().enumerate() {
             let (tx, rx) = channel::bounded(runtime.queue_capacity);
-            let worker = ShardWorker::new(config, partition, rx, reply_tx.clone());
+            let worker = ShardWorker::new(shard, config, partition, rx, reply_tx.clone());
             senders.push(tx);
             workers.push(std::thread::spawn(move || worker.run()));
         }
-        Engine { config, senders, reply_rx, workers, next_query, answered: BTreeMap::new() }
+        Engine {
+            config,
+            senders,
+            reply_rx,
+            workers,
+            next_query,
+            answered: BTreeMap::new(),
+            aborted: None,
+        }
     }
 
     /// The engine's semantic configuration.
@@ -108,8 +120,10 @@ impl Engine {
     }
 
     /// Deliver to a shard, blocking (with a backpressure count) when its
-    /// queue is full.
-    fn post(&self, shard: usize, msg: ShardMsg) {
+    /// queue is full. A dead shard (its queue disconnected mid-stream) is
+    /// recorded instead of panicking the writer; the next snapshot barrier
+    /// surfaces it as a typed error.
+    fn post(&mut self, shard: usize, msg: ShardMsg) {
         let msg = match self.senders[shard].try_send(msg) {
             Ok(()) => return,
             Err(TrySendError::Full(m)) => {
@@ -118,8 +132,22 @@ impl Engine {
             }
             Err(TrySendError::Disconnected(m)) => m,
         };
-        let delivered = self.senders[shard].send(msg).is_ok();
-        assert!(delivered, "shard {shard} worker exited while the stream is still open");
+        if self.senders[shard].send(msg).is_err() {
+            self.record_abort(shard);
+        }
+    }
+
+    /// A shard's ingest queue disconnected while the stream is still open:
+    /// the worker died. Drain the reply queue for its [`ShardReply::Aborted`]
+    /// (the panic guard sends one, but the disconnect can be observed
+    /// first), falling back to a generic message.
+    fn record_abort(&mut self, shard: usize) {
+        pmr_obs::counter_add("serve.shard_aborts", 1);
+        self.drain_ready();
+        if self.aborted.is_none() {
+            self.aborted =
+                Some(format!("shard {shard} worker exited while the stream is still open"));
+        }
     }
 
     /// A tweet entered `user`'s feed: register it as a candidate.
@@ -170,7 +198,7 @@ impl Engine {
     }
 
     /// File a recommendation under its query id; pass snapshot parts back
-    /// to the caller.
+    /// to the caller; record aborts.
     fn stash(&mut self, reply: ShardReply) -> Option<Vec<crate::snapshot::UserSnapshot>> {
         match reply {
             ShardReply::Recommendation(rec) => {
@@ -178,6 +206,12 @@ impl Engine {
                 None
             }
             ShardReply::SnapshotPart { users } => Some(users),
+            ShardReply::Aborted { shard, detail } => {
+                if self.aborted.is_none() {
+                    self.aborted = Some(format!("shard {shard} worker panicked: {detail}"));
+                }
+                None
+            }
         }
     }
 
@@ -189,12 +223,18 @@ impl Engine {
     /// Every message sent before this call is reflected in the snapshot:
     /// the snapshot marker traverses the same FIFO queues, so each shard
     /// answers only after applying everything ahead of it.
-    pub fn snapshot(&mut self, events: u64) -> EngineSnapshot {
+    ///
+    /// Errors instead of waiting forever when a shard worker has died: a
+    /// dead shard never answers the barrier, and its live siblings keep
+    /// the reply channel open, so a plain `recv()` loop would hang. The
+    /// worker's panic guard turns the death into a [`ShardReply::Aborted`]
+    /// the loop below observes.
+    pub fn snapshot(&mut self, events: u64) -> PmrResult<EngineSnapshot> {
         for shard in 0..self.senders.len() {
             self.post(shard, ShardMsg::Snapshot);
         }
         let mut parts: Vec<Vec<crate::snapshot::UserSnapshot>> = Vec::new();
-        while parts.len() < self.senders.len() {
+        while parts.len() < self.senders.len() && self.aborted.is_none() {
             match self.reply_rx.recv() {
                 Ok(reply) => {
                     if let Some(users) = self.stash(reply) {
@@ -204,13 +244,15 @@ impl Engine {
                 Err(_) => break,
             }
         }
-        assert!(
-            parts.len() == self.senders.len(),
-            "shard workers exited before answering the snapshot barrier"
-        );
+        if parts.len() != self.senders.len() {
+            let detail = self.aborted.clone().unwrap_or_else(|| {
+                "shard workers exited before answering the snapshot barrier".to_string()
+            });
+            return Err(PmrError::EngineAborted { detail });
+        }
         let mut users: Vec<crate::snapshot::UserSnapshot> = parts.into_iter().flatten().collect();
         users.sort_by_key(|u| u.user);
-        EngineSnapshot {
+        Ok(EngineSnapshot {
             header: SnapshotHeader {
                 version: SNAPSHOT_VERSION,
                 config: self.config,
@@ -219,7 +261,7 @@ impl Engine {
                 users: users.len() as u64,
             },
             users,
-        }
+        })
     }
 
     /// Close the stream, wait for every shard to drain, and return all
@@ -324,6 +366,23 @@ mod tests {
         let recs = engine.finish();
         let ids: Vec<u32> = recs[0].items.iter().map(|i| i.tweet).collect();
         assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn snapshot_errors_instead_of_hanging_when_a_shard_dies() {
+        let mut engine =
+            Engine::start(bag_config(4), RuntimeOptions { shards: 2, queue_capacity: 4 });
+        engine.observe(UserId(0), &unit(0)); // shard 0
+        engine.observe(UserId(1), &unit(0)); // shard 1
+                                             // Kill shard 0; shard 1 stays alive, so the reply channel stays
+                                             // open and a bare `recv()` barrier would block forever.
+        engine.post(0, ShardMsg::Poison);
+        let err = engine.snapshot(2).expect_err("the barrier must fail, not hang");
+        assert!(err.to_string().contains("shard 0"), "the error names the dead shard: {err}");
+        // The engine stays failed: a second barrier errors too.
+        assert!(engine.snapshot(2).is_err());
+        // Don't `finish()`: its join assert is *supposed* to propagate the
+        // worker panic. Dropping the engine detaches the live worker.
     }
 
     #[test]

@@ -227,7 +227,9 @@ impl<'a> Replay<'a> {
     }
 
     /// Pause-and-copy the full engine state at the current event boundary.
-    pub fn snapshot(&mut self) -> EngineSnapshot {
+    ///
+    /// Errors if a shard worker died mid-stream (see [`Engine::snapshot`]).
+    pub fn snapshot(&mut self) -> PmrResult<EngineSnapshot> {
         self.engine.snapshot(self.position as u64)
     }
 

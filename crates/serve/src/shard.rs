@@ -69,6 +69,9 @@ pub(crate) enum ShardMsg {
     Query { id: u64, user: UserId, k: usize, now: Timestamp },
     /// Emit the shard's full state; processing continues afterwards.
     Snapshot,
+    /// Test-only: make the worker panic, exercising the abort protocol.
+    #[cfg(test)]
+    Poison,
 }
 
 /// Messages flowing back from a shard to the engine.
@@ -78,6 +81,15 @@ pub(crate) enum ShardReply {
     Recommendation(Recommendation),
     /// Answer to a [`ShardMsg::Snapshot`].
     SnapshotPart { users: Vec<UserSnapshot> },
+    /// The worker's event loop panicked. Sent from the panic guard so the
+    /// engine fails fast instead of hanging on a snapshot barrier the dead
+    /// shard will never answer.
+    Aborted {
+        /// The dead worker's shard index.
+        shard: usize,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
 }
 
 /// The per-user online model, matching the engine's [`ServeModel`].
@@ -152,23 +164,45 @@ impl UserState {
 /// One shard's event loop: owns a partition of the user space and applies
 /// its FIFO message stream until the ingest side hangs up.
 pub(crate) struct ShardWorker {
+    shard: usize,
     config: EngineConfig,
     users: BTreeMap<UserId, UserState>,
     rx: Receiver<ShardMsg>,
+    // pmr-lint: allow(channel-cycle): reply channel is unbounded, so replies never block a worker that the engine is blocked on
     reply: Sender<ShardReply>,
 }
 
 impl ShardWorker {
     pub(crate) fn new(
+        shard: usize,
         config: EngineConfig,
         users: BTreeMap<UserId, UserState>,
         rx: Receiver<ShardMsg>,
         reply: Sender<ShardReply>,
     ) -> ShardWorker {
-        ShardWorker { config, users, rx, reply }
+        ShardWorker { shard, config, users, rx, reply }
     }
 
-    pub(crate) fn run(mut self) {
+    /// Run the event loop under a panic guard. A panic anywhere in message
+    /// handling sends [`ShardReply::Aborted`] before the thread dies, so
+    /// the engine's snapshot barrier fails fast instead of waiting forever
+    /// for a reply from a dead shard while its siblings keep the reply
+    /// channel open. The panic is re-raised afterwards so
+    /// [`Engine::finish`]'s join still observes it.
+    pub(crate) fn run(self) {
+        let shard = self.shard;
+        let reply = self.reply.clone();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || self.event_loop()));
+        if let Err(payload) = result {
+            let detail = panic_detail(payload.as_ref());
+            let _ = reply.send(ShardReply::Aborted { shard, detail });
+            drop(reply);
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn event_loop(mut self) {
         while let Ok(msg) = self.rx.recv() {
             match msg {
                 ShardMsg::Candidate { user, tweet, at, features } => {
@@ -183,6 +217,9 @@ impl ShardWorker {
                     let users = self.users.iter().map(|(u, s)| s.snapshot(*u)).collect();
                     let _ = self.reply.send(ShardReply::SnapshotPart { users });
                 }
+                #[cfg(test)]
+                // pmr-lint: allow(lib-unwrap): test-only poison pill; the panic is the point
+                ShardMsg::Poison => panic!("shard {} poisoned", self.shard),
             }
         }
     }
@@ -261,6 +298,17 @@ impl ShardWorker {
         items.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.tweet.cmp(&b.tweet)));
         items.truncate(k);
         Recommendation { query: id, user: user.0, now, items }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload was not a string".to_string()
     }
 }
 

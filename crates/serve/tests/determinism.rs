@@ -116,7 +116,7 @@ fn snapshot_restores_bit_identical_continuations() {
     let mut first_half = Replay::new(&prepared, options);
     let midpoint = first_half.stream_len() / 2;
     first_half.run_to(midpoint);
-    let snapshot = first_half.snapshot();
+    let snapshot = first_half.snapshot().expect("all shards alive");
     let paused_queries = snapshot.header.queries;
     let wire = snapshot.to_jsonl().expect("snapshot serializes");
     let restored = EngineSnapshot::from_jsonl(&wire).expect("snapshot parses");
@@ -150,7 +150,9 @@ fn snapshot_bytes_are_independent_of_shard_count() {
         options.runtime = RuntimeOptions { shards, queue_capacity: 16 };
         let mut replay = Replay::new(&prepared, options);
         replay.run_to(replay.stream_len() / 3);
-        runs.push(replay.snapshot().to_jsonl().expect("snapshot serializes"));
+        runs.push(
+            replay.snapshot().expect("all shards alive").to_jsonl().expect("snapshot serializes"),
+        );
         let _ = replay.finish();
     }
     assert_eq!(runs[0], runs[1], "snapshots must not encode the shard layout");
@@ -162,7 +164,7 @@ fn resume_rejects_mismatched_configs() {
     let options = bag_options();
     let mut replay = Replay::new(&prepared, options);
     replay.run_to(20);
-    let snapshot = replay.snapshot();
+    let snapshot = replay.snapshot().expect("all shards alive");
     let _ = replay.finish();
     let mut wrong = options;
     wrong.config.window += 1;

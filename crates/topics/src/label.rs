@@ -14,7 +14,7 @@
 //! *confused* carry no variations (§4). Variations are assigned
 //! deterministically by document index.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +32,9 @@ pub const VARIATIONS: usize = 10;
 pub struct Labeler {
     /// Minimum training-corpus occurrences for a hashtag label.
     pub hashtag_min_count: usize,
-    frequent_hashtags: HashSet<String>,
+    // BTreeSet, not HashSet: the derived `Serialize` must emit the labels
+    // in a stable order for snapshot determinism.
+    frequent_hashtags: BTreeSet<String>,
 }
 
 impl Labeler {
@@ -52,7 +54,7 @@ impl Labeler {
                 }
             }
         }
-        let frequent_hashtags = counts
+        let frequent_hashtags: BTreeSet<String> = counts
             .into_iter()
             .filter(|&(_, c)| c > hashtag_min_count)
             .map(|(tag, _)| tag)

@@ -136,7 +136,7 @@ fn serve_engine_snapshot_roundtrips_through_the_facade() {
     };
     let mut replay = Replay::new(&prepared, options);
     replay.run_to(replay.stream_len() / 2);
-    let snapshot = replay.snapshot();
+    let snapshot = replay.snapshot().expect("all shards alive");
     let _ = replay.finish();
     let wire = snapshot.to_jsonl().expect("serializes");
     let back = EngineSnapshot::from_jsonl(&wire).expect("parses");
