@@ -1,0 +1,344 @@
+//! Measures the impact-ordered retrieval layer against exhaustive kernel
+//! scoring on the simulated corpus and writes `BENCH_retrieval.json`.
+//!
+//! ```text
+//! cargo run --release -p pmr-bench --bin bench_retrieval -- \
+//!     --scale smoke --seed 42 --k 10 --shortlist 48 \
+//!     --out results/BENCH_retrieval.json
+//! ```
+//!
+//! The benchmark builds one global candidate pool (the union of every
+//! user's test documents under a shared TF-IDF vectorizer) and one
+//! [`ImpactIndex`] over it, then for every user × bag similarity:
+//!
+//! 1. scores the whole pool exhaustively through the [`ScoringKernel`]
+//!    (the reference ranking and the reference timing),
+//! 2. re-runs retrieval at [`Budget::Full`] and asserts the rescored
+//!    output is **byte-identical** to the exhaustive scores,
+//! 3. re-runs at the pruned `--shortlist` budget and reports recall@k of
+//!    the pruned-with-rescore top-k against the exhaustive top-k. The
+//!    shortlist is a pure function of the model vector, not of the
+//!    similarity, so the pruned path issues **one** index query per model
+//!    and rescores it under all three similarities; the query cost is
+//!    amortized evenly across them in the per-similarity timings.
+//!
+//! Timing fields are machine-specific; the recall and byte-identity
+//! fields are deterministic. The JSON is *excluded* from the sweep's
+//! byte-stability gate (see EXPERIMENTS.md). Raw log-4 histogram bucket
+//! counts for the retrieval timers are embedded so latency quantiles can
+//! be recomputed offline at full resolution.
+
+use std::process::exit;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pmr_bag::{
+    AggregationFunction, BagSimilarity, IndexedVectorizer, ScoringKernel, SparseVector,
+    WeightingScheme,
+};
+use pmr_bench::Scale;
+use pmr_core::eval::tie_break_key;
+use pmr_core::retrieval::{retrieve_and_rescore, Budget, ImpactIndex};
+use pmr_core::{rank_cmp, GramKind, PreparedCorpus, RepresentationSource, SplitConfig};
+use pmr_sim::{generate_corpus, SimConfig, TweetId};
+
+const SIMILARITIES: [BagSimilarity; 3] =
+    [BagSimilarity::Cosine, BagSimilarity::Jaccard, BagSimilarity::GeneralizedJaccard];
+
+#[derive(Debug, Serialize)]
+struct SimilarityReport {
+    similarity: String,
+    /// Total exhaustive kernel-scoring time over all users, seconds.
+    exhaustive_s: f64,
+    /// Total pruned retrieval time (index query + shortlist rescore).
+    wand_s: f64,
+    /// `exhaustive_s / wand_s`.
+    speedup: f64,
+    /// Mean recall@k of the pruned top-k against the exhaustive top-k.
+    recall_mean: f64,
+    /// Worst per-user recall@k at the pruned budget.
+    recall_min: f64,
+    /// Whether every full-budget retrieval reproduced the exhaustive
+    /// scores bit-for-bit (hard-asserted; recorded for the artifact).
+    full_coverage_identical: bool,
+    /// Mean recall@k at the full budget (must be exactly 1.0).
+    recall_full: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct HistogramDump {
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+    p50_us: u64,
+    p99_us: u64,
+    /// Raw per-bucket counts aligned with `pmr_obs::BUCKET_BOUNDS_US`
+    /// (final element = overflow), for offline quantile recomputation.
+    buckets: Vec<u64>,
+}
+
+#[derive(Debug, Serialize)]
+struct RetrievalBaseline {
+    benchmark: &'static str,
+    scale: String,
+    seed: u64,
+    k: usize,
+    shortlist: usize,
+    users: usize,
+    pool_docs: usize,
+    index_terms: usize,
+    index_build_s: f64,
+    per_similarity: Vec<SimilarityReport>,
+    /// Aggregate candidate-scoring speedup: Σ exhaustive / Σ wand.
+    aggregate_speedup: f64,
+    /// Worst recall@k across every user × similarity at the pruned budget.
+    recall_min: f64,
+    /// `retrieval.*` counters from the pruned runs.
+    candidates: u64,
+    pruned: u64,
+    rescored: u64,
+    timers: std::collections::BTreeMap<String, HistogramDump>,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("bench_retrieval: {problem}");
+    eprintln!(
+        "usage: bench_retrieval [--scale smoke|default|full] [--seed N] [--k N] \
+         [--shortlist N] [--out PATH]"
+    );
+    exit(2);
+}
+
+/// Top-k pool positions under the shared ranking contract.
+fn top_k(scores: &[f64], keys: &[u32], k: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        rank_cmp(scores[a as usize], &keys[a as usize], scores[b as usize], &keys[b as usize])
+    });
+    order.truncate(k);
+    order
+}
+
+/// |a ∩ b| / |a| for equally-sized top-k sets (1.0 for empty pools).
+fn recall(reference: &[u32], candidate: &[u32]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = candidate.to_vec();
+    sorted.sort_unstable();
+    let hits = reference.iter().filter(|p| sorted.binary_search(p).is_ok()).count();
+    hits as f64 / reference.len() as f64
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut seed: u64 = 42;
+    let mut k: usize = 10;
+    let mut shortlist: usize = 48;
+    let mut out = String::from("results/BENCH_retrieval.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |flag: &str| args.next().unwrap_or_else(|| usage(&format!("{flag} requires a value")));
+        match arg.as_str() {
+            "--scale" => {
+                let v = value("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale {v:?}")));
+            }
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| usage("--seed wants a number"))
+            }
+            "--k" => k = value("--k").parse().unwrap_or_else(|_| usage("--k wants a number")),
+            "--shortlist" => {
+                shortlist = value("--shortlist")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shortlist wants a number"))
+            }
+            "--out" => out = value("--out"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    pmr_obs::install(pmr_obs::Recorder::monotonic());
+
+    let corpus = generate_corpus(&SimConfig::preset(scale.preset(), seed));
+    let prepared =
+        PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
+    let table = prepared.gram_table(GramKind::Token, 1);
+    let source = RepresentationSource::R;
+
+    // The global candidate pool: every user's test documents, deduplicated,
+    // in ascending tweet order; the shared vectorizer is fitted on the
+    // union of every user's training documents so user models and pool
+    // documents live in one vector space.
+    let users: Vec<_> = prepared.split.users().collect();
+    let mut pool_ids: Vec<TweetId> = Vec::new();
+    let mut train_union: Vec<TweetId> = Vec::new();
+    for &user in &users {
+        if let Some(user_split) = prepared.split.user(user) {
+            pool_ids.extend(user_split.test_docs());
+        }
+        train_union.extend(prepared.split.train_ids(&prepared.corpus, user, source));
+    }
+    pool_ids.sort_unstable();
+    pool_ids.dedup();
+    train_union.sort_unstable();
+    train_union.dedup();
+
+    let vectorizer =
+        IndexedVectorizer::fit(WeightingScheme::TFIDF, train_union.iter().map(|&id| table.doc(id)));
+    let pool: Vec<SparseVector> =
+        pool_ids.iter().map(|&id| vectorizer.transform(table.doc(id))).collect();
+    let keys: Vec<u32> = pool_ids.iter().map(|&id| tie_break_key(id.0)).collect();
+
+    let build_start = Instant::now();
+    let index = ImpactIndex::build(&pool);
+    let index_build_s = build_start.elapsed().as_secs_f64();
+
+    // Per-user Sum-aggregated TF-IDF models over source R train docs.
+    let models: Vec<SparseVector> = users
+        .iter()
+        .map(|&user| {
+            let train = prepared.split.train_ids(&prepared.corpus, user, source);
+            let vectors: Vec<SparseVector> =
+                train.iter().map(|&id| vectorizer.transform(table.doc(id))).collect();
+            AggregationFunction::Sum.aggregate(&vectors, &[])
+        })
+        .collect();
+
+    let k_eff = k.min(pool.len());
+    let n_sims = SIMILARITIES.len();
+    let mut exhaustive_s = [0.0f64; 3];
+    let mut rescore_s = [0.0f64; 3];
+    let mut recall_sum = [0.0f64; 3];
+    let mut recall_min = [1.0f64; 3];
+    let mut recall_full_sum = [0.0f64; 3];
+    let mut query_s = 0.0f64;
+    for model in &models {
+        let kernels: Vec<ScoringKernel> =
+            SIMILARITIES.iter().map(|&sim| ScoringKernel::new(sim, model)).collect();
+
+        // One shortlist per model, shared by all three rescorers.
+        let t0 = Instant::now();
+        let short = index.query(model, &pool, &keys, Budget::TopK { shortlist });
+        query_s += t0.elapsed().as_secs_f64();
+
+        for (si, kernel) in kernels.iter().enumerate() {
+            let t1 = Instant::now();
+            let exact = kernel.score_many(&pool);
+            exhaustive_s[si] += t1.elapsed().as_secs_f64();
+            let reference = top_k(&exact, &keys, k_eff);
+
+            // Full coverage: must reproduce the exhaustive scores exactly.
+            let full = retrieve_and_rescore(&index, kernel, model, &pool, &keys, Budget::Full);
+            let identical = full.iter().zip(&exact).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                identical,
+                "{}: full-budget retrieval diverged from exhaustive",
+                SIMILARITIES[si].name()
+            );
+            recall_full_sum[si] += recall(&reference, &top_k(&full, &keys, k_eff));
+
+            // Pruned budget: zero-fill + exact rescore of the shortlist.
+            let t2 = Instant::now();
+            let mut pruned_scores = vec![0.0f64; pool.len()];
+            kernel.score_positions(&pool, &short.positions, &mut pruned_scores);
+            rescore_s[si] += t2.elapsed().as_secs_f64();
+            let r = recall(&reference, &top_k(&pruned_scores, &keys, k_eff));
+            recall_sum[si] += r;
+            recall_min[si] = recall_min[si].min(r);
+        }
+    }
+
+    let n = models.len().max(1) as f64;
+    let mut per_similarity = Vec::new();
+    let mut total_exhaustive_s = 0.0f64;
+    let mut global_recall_min = 1.0f64;
+    for (si, sim) in SIMILARITIES.iter().enumerate() {
+        let recall_full = recall_full_sum[si] / n;
+        assert!(
+            (recall_full - 1.0).abs() < f64::EPSILON,
+            "{}: recall@{k_eff} at full coverage must be exactly 1.0, got {recall_full}",
+            sim.name()
+        );
+        let wand_s = rescore_s[si] + query_s / n_sims as f64;
+        total_exhaustive_s += exhaustive_s[si];
+        global_recall_min = global_recall_min.min(recall_min[si]);
+        per_similarity.push(SimilarityReport {
+            similarity: sim.name().to_string(),
+            exhaustive_s: exhaustive_s[si],
+            wand_s,
+            speedup: exhaustive_s[si] / wand_s.max(f64::MIN_POSITIVE),
+            recall_mean: recall_sum[si] / n,
+            recall_min: recall_min[si],
+            full_coverage_identical: true,
+            recall_full,
+        });
+    }
+    let total_wand_s = query_s + rescore_s.iter().sum::<f64>();
+
+    let metrics = pmr_obs::snapshot().expect("recorder is installed");
+    let timers: std::collections::BTreeMap<String, HistogramDump> =
+        ["retrieval.index_build", "retrieval.query", "retrieval.rescore"]
+            .iter()
+            .filter_map(|name| {
+                let h = metrics.histogram(name)?;
+                Some((
+                    name.to_string(),
+                    HistogramDump {
+                        count: h.count,
+                        sum_us: h.sum_us,
+                        min_us: h.min_us,
+                        max_us: h.max_us,
+                        p50_us: h.quantile_us(0.5),
+                        p99_us: h.quantile_us(0.99),
+                        buckets: h.buckets.clone(),
+                    },
+                ))
+            })
+            .collect();
+
+    let baseline = RetrievalBaseline {
+        benchmark: "retrieval",
+        scale: format!("{scale:?}").to_lowercase(),
+        seed,
+        k: k_eff,
+        shortlist,
+        users: users.len(),
+        pool_docs: pool.len(),
+        index_terms: index.terms(),
+        index_build_s,
+        per_similarity,
+        aggregate_speedup: total_exhaustive_s / total_wand_s.max(f64::MIN_POSITIVE),
+        recall_min: global_recall_min,
+        candidates: metrics.counter("retrieval.candidates"),
+        pruned: metrics.counter("retrieval.pruned"),
+        rescored: metrics.counter("retrieval.rescored"),
+        timers,
+    };
+
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("output directory is creatable");
+    }
+    std::fs::write(&out, json + "\n").expect("baseline file is writable");
+    eprintln!("wrote {out}");
+    eprintln!(
+        "  pool {} docs, {} users, shortlist {}: aggregate speedup {:.1}x, worst recall@{} {:.3}",
+        baseline.pool_docs,
+        baseline.users,
+        baseline.shortlist,
+        baseline.aggregate_speedup,
+        baseline.k,
+        baseline.recall_min,
+    );
+    for s in &baseline.per_similarity {
+        eprintln!(
+            "  {:>20}: exhaustive {:.3}s, wand {:.3}s ({:.1}x), recall mean {:.3} min {:.3}",
+            s.similarity, s.exhaustive_s, s.wand_s, s.speedup, s.recall_mean, s.recall_min
+        );
+    }
+}

@@ -199,7 +199,7 @@ fn run_serve_leg(users: u64, seed: u64) -> ServeReport {
             &gen,
             IngestOptions {
                 config,
-                runtime: RuntimeOptions { shards, queue_capacity },
+                runtime: RuntimeOptions { shards, queue_capacity, ..RuntimeOptions::default() },
                 k: 10,
                 query_every: 25,
                 jobs: 2,

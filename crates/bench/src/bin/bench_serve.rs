@@ -144,7 +144,7 @@ fn main() {
         PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let options = ReplayOptions {
         config: EngineConfig { model: serve_model, window },
-        runtime: RuntimeOptions { shards, queue_capacity: queue },
+        runtime: RuntimeOptions { shards, queue_capacity: queue, ..RuntimeOptions::default() },
         k,
         query_every,
         jobs,

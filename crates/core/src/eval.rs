@@ -43,14 +43,9 @@ pub fn average_precision(docs: &[ScoredDoc]) -> f64 {
         return 0.0;
     }
     let mut ranked: Vec<&ScoredDoc> = docs.iter().collect();
-    // Scores are finite in practice; treating an (impossible) NaN pair as
-    // equal keeps the sort total without changing any finite ordering.
-    ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.tie_break.cmp(&b.tie_break))
-    });
+    // The shared top-k contract: score desc, tie key asc, total even for
+    // (impossible in practice) NaN scores.
+    ranked.sort_by(|a, b| crate::ranking::rank_cmp(a.score, &a.tie_break, b.score, &b.tie_break));
     let mut hits = 0usize;
     let mut ap = 0.0f64;
     for (i, d) in ranked.iter().enumerate() {

@@ -288,7 +288,12 @@ mod tests {
 
     fn quick_opts() -> RunnerOptions {
         RunnerOptions {
-            scoring: ScoringOptions { iteration_scale: 0.01, infer_iterations: 5, seed: 13 },
+            scoring: ScoringOptions {
+                iteration_scale: 0.01,
+                infer_iterations: 5,
+                seed: 13,
+                ..ScoringOptions::default()
+            },
             ran_iterations: 100,
         }
     }

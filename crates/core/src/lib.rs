@@ -35,7 +35,9 @@ pub mod experiment;
 pub mod features;
 pub mod online;
 pub mod prepare;
+pub mod ranking;
 pub mod recommender;
+pub mod retrieval;
 pub mod significance;
 pub mod source;
 pub mod split;
@@ -50,7 +52,9 @@ pub use experiment::{ExperimentRunner, RunnerOptions, SweepResult};
 pub use features::{FeatureCache, GramKind, GramTable};
 pub use online::{OnlineBagModel, OnlineGraphModel, OnlineProfile};
 pub use prepare::PreparedCorpus;
+pub use ranking::{rank_cmp, ThresholdHeap};
 pub use recommender::score_configuration;
+pub use retrieval::{Budget, ImpactIndex, RetrievalMode, WindowPostings};
 pub use significance::{paired_randomization_test, wilcoxon_signed_rank, PairedComparison};
 pub use source::RepresentationSource;
 pub use split::{SplitConfig, TrainTestSplit, UserSplit};

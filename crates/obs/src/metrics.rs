@@ -65,12 +65,17 @@ impl HistogramSnapshot {
 
     /// A quantile estimate in µs (`q` clamped to `[0, 1]`; 0 when empty).
     ///
-    /// Walks the cumulative bucket counts to the first bucket containing
-    /// the `⌈q·count⌉`-th observation and reports that bucket's upper
-    /// bound, clamped to the observed `[min_us, max_us]` range. With log-4
-    /// buckets the estimate is an upper bound within a factor of 4 of the
-    /// true quantile — the resolution the serving benchmarks report their
-    /// p50/p99 latencies at. Deterministic: depends only on the snapshot.
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// `⌈q·count⌉`-th observation, then interpolates linearly within that
+    /// bucket's span `(lower bound, upper bound]` as if its observations
+    /// were evenly spaced — the `j`-th of a bucket's `c` observations is
+    /// estimated at `lower + (upper − lower)·j/c`. The result is clamped
+    /// to the observed `[min_us, max_us]` range, so a single observation
+    /// reports exactly. Without interpolation the log-4 quantization makes
+    /// the estimate an upper bound off by up to 4×; with it the error is
+    /// bounded by the distance between the true value and the
+    /// evenly-spaced assumption within one bucket. Deterministic: depends
+    /// only on the snapshot (integer arithmetic throughout the walk).
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -78,10 +83,17 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            let before = seen;
             seen += c;
-            if seen >= rank {
-                let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
-                return bound.clamp(self.min_us, self.max_us);
+            if seen >= rank && c > 0 {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                // The overflow bucket has no compile-time upper bound; the
+                // observed maximum is the tightest one available.
+                let upper = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us).max(lower);
+                let pos = rank - before; // 1..=c within this bucket
+                let span = (upper - lower) as u128;
+                let est = lower + ((span * pos as u128) / c as u128) as u64;
+                return est.clamp(self.min_us, self.max_us);
             }
         }
         self.max_us
@@ -280,10 +292,47 @@ mod tests {
         m.observe("q", Duration::from_micros(5_000_000));
         let s = m.snapshot();
         let h = s.histogram("q").expect("histogram exists");
-        assert_eq!(h.quantile_us(0.5), 16, "p50 sits in the ≤16µs bucket");
+        // p50 = rank 50 of 99 evenly spaced across (4, 16]: 4 + 12·50/99.
+        assert_eq!(h.quantile_us(0.5), 10, "p50 interpolates inside the ≤16µs bucket");
         assert_eq!(h.quantile_us(0.99), 16, "99 of 100 observations are fast");
         assert_eq!(h.quantile_us(1.0), 5_000_000, "p100 clamps to the max");
         assert!(h.quantile_us(0.5) <= h.quantile_us(0.999), "quantiles are monotone");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        let m = MetricsRegistry::new();
+        // Four observations in the (4, 16] bucket: interpolation spaces
+        // them evenly at 7, 10, 13, 16.
+        for us in [5u64, 10, 12, 16] {
+            m.observe("q", Duration::from_micros(us));
+        }
+        let s = m.snapshot();
+        let h = s.histogram("q").expect("histogram exists");
+        assert_eq!(h.quantile_us(0.25), 7);
+        assert_eq!(h.quantile_us(0.5), 10);
+        assert_eq!(h.quantile_us(0.75), 13);
+        assert_eq!(h.quantile_us(1.0), 16);
+    }
+
+    #[test]
+    fn quantiles_at_bucket_edges_report_the_edge() {
+        let m = MetricsRegistry::new();
+        // Observations exactly on a bucket's inclusive upper bound: the
+        // top quantile is the bound itself, not the next bucket's.
+        for _ in 0..3 {
+            m.observe("edge", Duration::from_micros(16));
+        }
+        let s = m.snapshot();
+        let h = s.histogram("edge").expect("histogram exists");
+        assert_eq!(h.quantile_us(1.0), 16);
+        assert_eq!(h.quantile_us(0.01), 16, "clamped up to min_us");
+        // A lone overflow observation: the overflow bucket borrows max_us
+        // as its upper bound, so the estimate is exact.
+        m.observe("over", Duration::from_secs(10_000));
+        let s = m.snapshot();
+        let over = s.histogram("over").expect("histogram exists");
+        assert_eq!(over.quantile_us(0.5), 10_000_000_000);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! snapshot taken on one shard layout restores onto any other.
 
 use pmr_bag::{BagSimilarity, WeightingScheme};
+use pmr_core::RetrievalMode;
 use pmr_graph::GraphSimilarity;
 use serde::{Deserialize, Serialize};
 
@@ -91,18 +92,30 @@ pub struct RuntimeOptions {
     /// ingest thread blocks (after bumping the `serve.backpressure`
     /// counter) rather than buffering unboundedly.
     pub queue_capacity: usize,
+    /// Candidate retrieval at query time. `Wand` maintains an incremental
+    /// window index per user and scores only candidates sharing at least
+    /// one feature with the model; everything else provably scores exactly
+    /// `0.0` and is zero-filled without a kernel call. Mechanical rather
+    /// than semantic: both modes emit byte-identical recommendations (the
+    /// determinism suite pins this), so the knob lives here and stays out
+    /// of snapshots.
+    pub retrieval: RetrievalMode,
 }
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        RuntimeOptions { shards: 4, queue_capacity: 1024 }
+        RuntimeOptions { shards: 4, queue_capacity: 1024, retrieval: RetrievalMode::Wand }
     }
 }
 
 impl RuntimeOptions {
     /// Clamp to at least one shard and a one-slot queue.
     pub fn normalized(self) -> RuntimeOptions {
-        RuntimeOptions { shards: self.shards.max(1), queue_capacity: self.queue_capacity.max(1) }
+        RuntimeOptions {
+            shards: self.shards.max(1),
+            queue_capacity: self.queue_capacity.max(1),
+            ..self
+        }
     }
 }
 
@@ -141,8 +154,10 @@ mod tests {
 
     #[test]
     fn runtime_options_normalize_degenerate_sizes() {
-        let r = RuntimeOptions { shards: 0, queue_capacity: 0 }.normalized();
+        let r = RuntimeOptions { shards: 0, queue_capacity: 0, ..RuntimeOptions::default() }
+            .normalized();
         assert_eq!(r.shards, 1);
         assert_eq!(r.queue_capacity, 1);
+        assert_eq!(r.retrieval, RetrievalMode::Wand, "normalization keeps the retrieval mode");
     }
 }

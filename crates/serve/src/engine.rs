@@ -90,7 +90,8 @@ impl Engine {
         let mut workers = Vec::with_capacity(runtime.shards);
         for (shard, partition) in partitions.into_iter().enumerate() {
             let (tx, rx) = channel::bounded(runtime.queue_capacity);
-            let worker = ShardWorker::new(shard, config, partition, rx, reply_tx.clone());
+            let worker =
+                ShardWorker::new(shard, config, runtime.retrieval, partition, rx, reply_tx.clone());
             senders.push(tx);
             workers.push(std::thread::spawn(move || worker.run()));
         }
@@ -316,8 +317,10 @@ mod tests {
 
     #[test]
     fn equal_scores_break_ties_by_ascending_tweet_id() {
-        let mut engine =
-            Engine::start(bag_config(8), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        let mut engine = Engine::start(
+            bag_config(8),
+            RuntimeOptions { shards: 1, queue_capacity: 4, ..RuntimeOptions::default() },
+        );
         let user = UserId(1);
         let features = unit(0);
         engine.observe(user, &features);
@@ -336,8 +339,10 @@ mod tests {
 
     #[test]
     fn queries_respect_the_time_horizon_and_k() {
-        let mut engine =
-            Engine::start(bag_config(8), RuntimeOptions { shards: 2, queue_capacity: 4 });
+        let mut engine = Engine::start(
+            bag_config(8),
+            RuntimeOptions { shards: 2, queue_capacity: 4, ..RuntimeOptions::default() },
+        );
         let user = UserId(3);
         let features = unit(1);
         engine.observe(user, &features);
@@ -353,8 +358,10 @@ mod tests {
 
     #[test]
     fn window_evicts_oldest_and_dedups_repeat_exposures() {
-        let mut engine =
-            Engine::start(bag_config(2), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        let mut engine = Engine::start(
+            bag_config(2),
+            RuntimeOptions { shards: 1, queue_capacity: 4, ..RuntimeOptions::default() },
+        );
         let user = UserId(5);
         let features = unit(2);
         engine.observe(user, &features);
@@ -370,8 +377,10 @@ mod tests {
 
     #[test]
     fn snapshot_errors_instead_of_hanging_when_a_shard_dies() {
-        let mut engine =
-            Engine::start(bag_config(4), RuntimeOptions { shards: 2, queue_capacity: 4 });
+        let mut engine = Engine::start(
+            bag_config(4),
+            RuntimeOptions { shards: 2, queue_capacity: 4, ..RuntimeOptions::default() },
+        );
         engine.observe(UserId(0), &unit(0)); // shard 0
         engine.observe(UserId(1), &unit(0)); // shard 1
                                              // Kill shard 0; shard 1 stays alive, so the reply channel stays
@@ -387,8 +396,10 @@ mod tests {
 
     #[test]
     fn unknown_users_get_empty_recommendations() {
-        let mut engine =
-            Engine::start(bag_config(4), RuntimeOptions { shards: 1, queue_capacity: 4 });
+        let mut engine = Engine::start(
+            bag_config(4),
+            RuntimeOptions { shards: 1, queue_capacity: 4, ..RuntimeOptions::default() },
+        );
         engine.query(UserId(99), 5, 10);
         let recs = engine.finish();
         assert_eq!(recs.len(), 1);

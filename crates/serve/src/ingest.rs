@@ -240,11 +240,25 @@ mod tests {
         let base = IngestOptions { config: graph_config(), jobs: 2, ..IngestOptions::default() };
         let one = run(
             &gen,
-            IngestOptions { runtime: RuntimeOptions { shards: 1, queue_capacity: 64 }, ..base },
+            IngestOptions {
+                runtime: RuntimeOptions {
+                    shards: 1,
+                    queue_capacity: 64,
+                    ..RuntimeOptions::default()
+                },
+                ..base
+            },
         );
         let four = run(
             &gen,
-            IngestOptions { runtime: RuntimeOptions { shards: 4, queue_capacity: 64 }, ..base },
+            IngestOptions {
+                runtime: RuntimeOptions {
+                    shards: 4,
+                    queue_capacity: 64,
+                    ..RuntimeOptions::default()
+                },
+                ..base
+            },
         );
         assert!(one.queries > 0);
         assert_eq!(rec_log(&one.recommendations).unwrap(), rec_log(&four.recommendations).unwrap());
@@ -293,7 +307,14 @@ mod tests {
                 let _ = pmr_obs::install(pmr_obs::Recorder::monotonic());
                 let outcome = run(
                     &gen,
-                    IngestOptions { runtime: RuntimeOptions { shards, queue_capacity: 2 }, ..base },
+                    IngestOptions {
+                        runtime: RuntimeOptions {
+                            shards,
+                            queue_capacity: 2,
+                            ..RuntimeOptions::default()
+                        },
+                        ..base
+                    },
                 );
                 let metrics = pmr_obs::snapshot().expect("recorder is installed");
                 assert!(

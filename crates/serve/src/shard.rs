@@ -14,8 +14,9 @@ use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use pmr_bag::{ScoringKernel, SparseVector};
-use pmr_core::{OnlineGraphModel, OnlineProfile};
+use pmr_core::{rank_cmp, OnlineGraphModel, OnlineProfile, RetrievalMode, WindowPostings};
 use pmr_sim::{Timestamp, TweetId, UserId};
+use pmr_text::vocab::TermId;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{EngineConfig, ServeModel};
@@ -107,12 +108,64 @@ struct WindowEntry {
     features: Arc<TweetFeatures>,
 }
 
+/// Incremental retrieval index over one user's candidate window, keyed by
+/// the model family's feature space: bag vectors post under their term
+/// ids, graph gram lists under their gram surface forms. Maintained on
+/// every window insert/evict so queries under [`RetrievalMode::Wand`] can
+/// zero-fill candidates that share no feature with the model — exactly the
+/// candidates every similarity maps to `0.0`.
+#[derive(Debug)]
+enum WindowIndex {
+    Bag(WindowPostings<TermId>),
+    Graph(WindowPostings<String>),
+}
+
+impl WindowIndex {
+    fn for_model(model: &UserModel) -> WindowIndex {
+        match model {
+            UserModel::Bag(_) => WindowIndex::Bag(WindowPostings::new()),
+            UserModel::Graph(_) => WindowIndex::Graph(WindowPostings::new()),
+        }
+    }
+
+    /// Post a window entry's features under its tweet id. A features/model
+    /// family mismatch posts nothing; the query path scores such entries
+    /// exhaustively, so skipping them here stays exact.
+    fn insert(&mut self, tweet: TweetId, features: &TweetFeatures) {
+        match (self, features) {
+            (WindowIndex::Bag(postings), TweetFeatures::Bag(v)) => {
+                postings.insert(tweet.0, v.entries().iter().map(|&(t, _)| t));
+            }
+            (WindowIndex::Graph(postings), TweetFeatures::Graph(grams)) => {
+                postings.insert(tweet.0, grams.iter().cloned());
+            }
+            _ => {}
+        }
+    }
+
+    /// Remove an evicted entry's postings.
+    fn remove(&mut self, tweet: TweetId, features: &TweetFeatures) {
+        match (self, features) {
+            (WindowIndex::Bag(postings), TweetFeatures::Bag(v)) => {
+                let keys: Vec<TermId> = v.entries().iter().map(|&(t, _)| t).collect();
+                postings.remove(tweet.0, keys.iter());
+            }
+            (WindowIndex::Graph(postings), TweetFeatures::Graph(grams)) => {
+                postings.remove(tweet.0, grams.iter());
+            }
+            _ => {}
+        }
+    }
+}
+
 /// One user's complete serving state: their model plus the bounded window
-/// of recent feed tweets still eligible for recommendation.
+/// of recent feed tweets still eligible for recommendation, mirrored by
+/// the incremental retrieval index over that window.
 #[derive(Debug)]
 pub(crate) struct UserState {
     model: UserModel,
     window: VecDeque<WindowEntry>,
+    index: WindowIndex,
 }
 
 impl UserState {
@@ -123,7 +176,8 @@ impl UserState {
                 UserModel::Graph(Box::new(OnlineGraphModel::new(similarity, n)))
             }
         };
-        UserState { model, window: VecDeque::new() }
+        let index = WindowIndex::for_model(&model);
+        UserState { model, window: VecDeque::new(), index }
     }
 
     /// Rebuild a state from its snapshot, resolving window entries' tweet
@@ -136,7 +190,7 @@ impl UserState {
             UserModelSnapshot::Bag(profile) => UserModel::Bag(profile.clone()),
             UserModelSnapshot::Graph(graph) => UserModel::Graph(Box::new(graph.clone())),
         };
-        let window = snapshot
+        let window: VecDeque<WindowEntry> = snapshot
             .window
             .iter()
             .filter_map(|e| {
@@ -144,7 +198,13 @@ impl UserState {
                 Some(WindowEntry { tweet: TweetId(e.tweet), at: e.at, features })
             })
             .collect();
-        UserState { model, window }
+        // The index is derived state: rebuild it from the restored window
+        // so a resumed engine answers queries exactly like the original.
+        let mut index = WindowIndex::for_model(&model);
+        for e in &window {
+            index.insert(e.tweet, &e.features);
+        }
+        UserState { model, window, index }
     }
 
     fn snapshot(&self, user: UserId) -> UserSnapshot {
@@ -166,6 +226,9 @@ impl UserState {
 pub(crate) struct ShardWorker {
     shard: usize,
     config: EngineConfig,
+    /// Mechanical retrieval mode (from [`crate::config::RuntimeOptions`]):
+    /// both settings produce byte-identical recommendations.
+    retrieval: RetrievalMode,
     users: BTreeMap<UserId, UserState>,
     rx: Receiver<ShardMsg>,
     // pmr-lint: allow(channel-cycle): reply channel is unbounded, so replies never block a worker that the engine is blocked on
@@ -176,11 +239,12 @@ impl ShardWorker {
     pub(crate) fn new(
         shard: usize,
         config: EngineConfig,
+        retrieval: RetrievalMode,
         users: BTreeMap<UserId, UserState>,
         rx: Receiver<ShardMsg>,
         reply: Sender<ShardReply>,
     ) -> ShardWorker {
-        ShardWorker { shard, config, users, rx, reply }
+        ShardWorker { shard, config, retrieval, users, rx, reply }
     }
 
     /// Run the event loop under a panic guard. A panic anywhere in message
@@ -244,9 +308,12 @@ impl ShardWorker {
             pmr_obs::counter_add("serve.window_duplicates", 1);
             return;
         }
+        state.index.insert(tweet, &features);
         state.window.push_back(WindowEntry { tweet, at, features });
         while state.window.len() > cap {
-            state.window.pop_front();
+            if let Some(evicted) = state.window.pop_front() {
+                state.index.remove(evicted.tweet, &evicted.features);
+            }
             pmr_obs::counter_add("serve.window_evictions", 1);
         }
     }
@@ -265,37 +332,90 @@ impl ShardWorker {
     fn query(&mut self, id: u64, user: UserId, k: usize, now: Timestamp) -> Recommendation {
         let _timer = pmr_obs::timer("serve.query");
         let mut items: Vec<RecItem> = Vec::new();
+        let mut scored = 0u64;
+        let mut pruned = 0u64;
         let similarity = match self.config.model {
             ServeModel::Bag { similarity, .. } => Some(similarity),
             ServeModel::Graph { .. } => None,
         };
+        let retrieval = self.retrieval;
         if let Some(state) = self.users.get_mut(&user) {
-            let UserState { model, window } = state;
+            let UserState { model, window, index } = state;
             match model {
                 UserModel::Bag(profile) => {
                     // One kernel per query amortizes the model-side
                     // normalization over the whole window.
                     if let Some(similarity) = similarity {
                         let kernel = ScoringKernel::new(similarity, profile.vector());
+                        // Under Wand, candidates sharing no term with the
+                        // model are zero-filled without a kernel call:
+                        // every bag similarity maps empty overlap to
+                        // exactly 0.0, so the scores are byte-identical.
+                        let matched: Option<Vec<u32>> = match (retrieval, &*index) {
+                            (RetrievalMode::Wand, WindowIndex::Bag(postings)) => {
+                                let keys: Vec<TermId> =
+                                    profile.vector().entries().iter().map(|&(t, _)| t).collect();
+                                Some(postings.matched(keys.iter()))
+                            }
+                            _ => None,
+                        };
                         for e in window.iter().filter(|e| e.at <= now) {
                             if let TweetFeatures::Bag(v) = e.features.as_ref() {
-                                items.push(RecItem { tweet: e.tweet.0, score: kernel.score(v) });
+                                let gated_out = matched
+                                    .as_ref()
+                                    .is_some_and(|m| m.binary_search(&e.tweet.0).is_err());
+                                let score = if gated_out {
+                                    pruned += 1;
+                                    0.0
+                                } else {
+                                    scored += 1;
+                                    kernel.score(v)
+                                };
+                                items.push(RecItem { tweet: e.tweet.0, score });
                             }
                         }
                     }
                 }
                 UserModel::Graph(graph) => {
+                    // A shared edge requires a shared node gram, so gating
+                    // on gram overlap never drops a candidate that could
+                    // score non-zero. Gated-out candidates still intern
+                    // their grams (`intern_only`) so the graph space
+                    // assigns ids in the same order as the exhaustive
+                    // path — later scores depend on that order.
+                    let matched: Option<Vec<u32>> = match (retrieval, &*index) {
+                        (RetrievalMode::Wand, WindowIndex::Graph(postings)) => {
+                            let keys = graph.node_terms();
+                            Some(postings.matched(keys.iter()))
+                        }
+                        _ => None,
+                    };
                     for e in window.iter().filter(|e| e.at <= now) {
                         if let TweetFeatures::Graph(grams) = e.features.as_ref() {
-                            items.push(RecItem { tweet: e.tweet.0, score: graph.score(grams) });
+                            let gated_out = matched
+                                .as_ref()
+                                .is_some_and(|m| m.binary_search(&e.tweet.0).is_err());
+                            let score = if gated_out {
+                                pruned += 1;
+                                graph.intern_only(grams)
+                            } else {
+                                scored += 1;
+                                graph.score(grams)
+                            };
+                            items.push(RecItem { tweet: e.tweet.0, score });
                         }
                     }
                 }
             }
         }
-        // Deterministic total order: best score first, ties broken by
-        // ascending tweet id. `total_cmp` keeps NaN-free floats total.
-        items.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.tweet.cmp(&b.tweet)));
+        if retrieval == RetrievalMode::Wand {
+            pmr_obs::counter_add("retrieval.candidates", scored);
+            pmr_obs::counter_add("retrieval.pruned", pruned);
+        }
+        // Deterministic total order: the repo-wide top-k contract
+        // ([`pmr_core::rank_cmp`]) — best score first, ties broken by
+        // ascending tweet id, total even for NaN.
+        items.sort_by(|a, b| rank_cmp(a.score, &a.tweet, b.score, &b.tweet));
         items.truncate(k);
         Recommendation { query: id, user: user.0, now, items }
     }

@@ -1,10 +1,13 @@
 //! The serving engine's determinism contract, enforced in-repo (CI's
 //! `serve-smoke` job repeats the same checks across *processes*): shard
-//! count, queue capacity, and feature-precompute thread count must never
-//! change a byte of recommendation or snapshot output.
+//! count, queue capacity, feature-precompute thread count, and the
+//! retrieval mode must never change a byte of recommendation or snapshot
+//! output. [`RuntimeOptions::default`] enables the incremental window
+//! index (`RetrievalMode::Wand`), so every layout-invariance test below
+//! exercises the indexed path unless it says otherwise.
 
 use pmr_bag::{BagSimilarity, WeightingScheme};
-use pmr_core::{PreparedCorpus, SplitConfig};
+use pmr_core::{PreparedCorpus, RetrievalMode, SplitConfig};
 use pmr_graph::GraphSimilarity;
 use pmr_serve::{
     rec_log, EngineConfig, EngineSnapshot, Replay, ReplayOptions, RuntimeOptions, ServeModel,
@@ -28,7 +31,7 @@ fn bag_options() -> ReplayOptions {
             },
             window: 32,
         },
-        runtime: RuntimeOptions { shards: 1, queue_capacity: 64 },
+        runtime: RuntimeOptions { shards: 1, queue_capacity: 64, ..RuntimeOptions::default() },
         k: 5,
         query_every: 10,
         jobs: 1,
@@ -45,7 +48,7 @@ fn graph_options() -> ReplayOptions {
             },
             window: 16,
         },
-        runtime: RuntimeOptions { shards: 1, queue_capacity: 64 },
+        runtime: RuntimeOptions { shards: 1, queue_capacity: 64, ..RuntimeOptions::default() },
         k: 5,
         query_every: 25,
         jobs: 1,
@@ -64,7 +67,7 @@ fn shard_count_does_not_change_bag_recommendations() {
         "every query must be answered exactly once"
     );
     for shards in [2, 4, 7] {
-        options.runtime = RuntimeOptions { shards, queue_capacity: 8 };
+        options.runtime = RuntimeOptions { shards, queue_capacity: 8, ..RuntimeOptions::default() };
         let sharded = Replay::run(&prepared, options);
         assert_eq!(
             rec_log(&sharded.recommendations).expect("log serializes"),
@@ -80,7 +83,7 @@ fn shard_count_does_not_change_graph_recommendations() {
     let mut options = graph_options();
     let baseline = Replay::run(&prepared, options);
     assert!(baseline.queries > 0, "the replay must actually issue queries");
-    options.runtime = RuntimeOptions { shards: 4, queue_capacity: 16 };
+    options.runtime = RuntimeOptions { shards: 4, queue_capacity: 16, ..RuntimeOptions::default() };
     let sharded = Replay::run(&prepared, options);
     assert_eq!(
         rec_log(&sharded.recommendations).expect("log serializes"),
@@ -123,7 +126,8 @@ fn snapshot_restores_bit_identical_continuations() {
     let head = first_half.finish();
 
     let mut resumed_options = options;
-    resumed_options.runtime = RuntimeOptions { shards: 3, queue_capacity: 32 };
+    resumed_options.runtime =
+        RuntimeOptions { shards: 3, queue_capacity: 32, ..RuntimeOptions::default() };
     let mut second_half =
         Replay::resume(&prepared, &restored, resumed_options).expect("configs match");
     assert_eq!(second_half.position(), midpoint);
@@ -147,7 +151,8 @@ fn snapshot_bytes_are_independent_of_shard_count() {
     let mut options = graph_options();
     let mut runs = Vec::new();
     for shards in [1, 4] {
-        options.runtime = RuntimeOptions { shards, queue_capacity: 16 };
+        options.runtime =
+            RuntimeOptions { shards, queue_capacity: 16, ..RuntimeOptions::default() };
         let mut replay = Replay::new(&prepared, options);
         replay.run_to(replay.stream_len() / 3);
         runs.push(
@@ -175,11 +180,35 @@ fn resume_rejects_mismatched_configs() {
 }
 
 #[test]
+fn retrieval_mode_does_not_change_recommendations() {
+    // The window index is mechanical: pruned-with-zero-fill must replicate
+    // exhaustive scoring byte-for-byte, for both model families, across
+    // shard layouts.
+    for (seed, options) in [(49, bag_options()), (50, graph_options())] {
+        let prepared = prepared(seed);
+        let mut options = options;
+        options.runtime.retrieval = RetrievalMode::Exhaustive;
+        let exhaustive = Replay::run(&prepared, options);
+        assert!(exhaustive.queries > 0, "the replay must actually issue queries");
+        for shards in [1, 4] {
+            options.runtime =
+                RuntimeOptions { shards, queue_capacity: 16, retrieval: RetrievalMode::Wand };
+            let indexed = Replay::run(&prepared, options);
+            assert_eq!(
+                rec_log(&indexed.recommendations).expect("log serializes"),
+                rec_log(&exhaustive.recommendations).expect("log serializes"),
+                "wand over {shards} shard(s) must replicate exhaustive scoring byte-for-byte"
+            );
+        }
+    }
+}
+
+#[test]
 fn tiny_queues_only_cost_backpressure_never_correctness() {
     let prepared = prepared(48);
     let mut options = bag_options();
     let roomy = Replay::run(&prepared, options);
-    options.runtime = RuntimeOptions { shards: 2, queue_capacity: 1 };
+    options.runtime = RuntimeOptions { shards: 2, queue_capacity: 1, ..RuntimeOptions::default() };
     let squeezed = Replay::run(&prepared, options);
     assert_eq!(
         rec_log(&squeezed.recommendations).expect("log serializes"),

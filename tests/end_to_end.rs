@@ -18,7 +18,12 @@ fn prepared(seed: u64) -> PreparedCorpus {
 
 fn quick_opts() -> RunnerOptions {
     RunnerOptions {
-        scoring: ScoringOptions { iteration_scale: 0.015, infer_iterations: 6, seed: 5 },
+        scoring: ScoringOptions {
+            iteration_scale: 0.015,
+            infer_iterations: 6,
+            seed: 5,
+            ..ScoringOptions::default()
+        },
         ran_iterations: 200,
     }
 }

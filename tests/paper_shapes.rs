@@ -20,7 +20,12 @@ fn prepared() -> PreparedCorpus {
 
 fn opts() -> RunnerOptions {
     RunnerOptions {
-        scoring: ScoringOptions { iteration_scale: 0.015, infer_iterations: 8, seed: 13 },
+        scoring: ScoringOptions {
+            iteration_scale: 0.015,
+            infer_iterations: 8,
+            seed: 13,
+            ..ScoringOptions::default()
+        },
         ran_iterations: 300,
     }
 }
