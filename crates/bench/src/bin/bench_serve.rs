@@ -29,6 +29,7 @@ struct LatencySummary {
     p50_us: u64,
     p90_us: u64,
     p99_us: u64,
+    p999_us: u64,
     max_us: u64,
 }
 
@@ -39,6 +40,8 @@ struct ServeBaseline {
     seed: u64,
     model: String,
     shards: usize,
+    workers: usize,
+    scheduler: &'static str,
     jobs: usize,
     k: usize,
     query_every: usize,
@@ -60,8 +63,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("bench_serve: {problem}");
     eprintln!(
         "usage: bench_serve [--scale smoke|default|full] [--seed N] [--model bag|graph] \
-         [--shards N] [--jobs N] [--k N] [--query-every N] [--window N] [--queue N] \
-         [--out PATH] [--rec-log PATH]"
+         [--shards N] [--workers N] [--scheduler threaded|worksteal] [--jobs N] [--k N] \
+         [--query-every N] [--window N] [--queue N] [--out PATH] [--rec-log PATH]"
     );
     exit(2);
 }
@@ -71,6 +74,8 @@ fn main() {
     let mut seed: u64 = 42;
     let mut model = String::from("bag");
     let mut shards: usize = 4;
+    let mut workers: usize = RuntimeOptions::default().workers;
+    let mut scheduler = RuntimeOptions::default().scheduler;
     let mut jobs: usize = 1;
     let mut k: usize = 10;
     let mut query_every: usize = 25;
@@ -95,6 +100,15 @@ fn main() {
             "--shards" => {
                 shards =
                     value("--shards").parse().unwrap_or_else(|_| usage("--shards wants a number"))
+            }
+            "--workers" => {
+                workers =
+                    value("--workers").parse().unwrap_or_else(|_| usage("--workers wants a number"))
+            }
+            "--scheduler" => {
+                let v = value("--scheduler");
+                scheduler = pmr_serve::Scheduler::parse(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown scheduler {v:?}")));
             }
             "--jobs" => {
                 jobs = value("--jobs").parse().unwrap_or_else(|_| usage("--jobs wants a number"))
@@ -144,7 +158,13 @@ fn main() {
         PreparedCorpus::new(corpus, SplitConfig::default()).expect("corpus is well-formed");
     let options = ReplayOptions {
         config: EngineConfig { model: serve_model, window },
-        runtime: RuntimeOptions { shards, queue_capacity: queue, ..RuntimeOptions::default() },
+        runtime: RuntimeOptions {
+            shards,
+            workers,
+            queue_capacity: queue,
+            scheduler,
+            ..RuntimeOptions::default()
+        },
         k,
         query_every,
         jobs,
@@ -167,6 +187,8 @@ fn main() {
         seed,
         model,
         shards,
+        workers,
+        scheduler: scheduler.name(),
         jobs,
         k,
         query_every,
@@ -187,6 +209,7 @@ fn main() {
             p50_us: latency.quantile_us(0.5),
             p90_us: latency.quantile_us(0.9),
             p99_us: latency.quantile_us(0.99),
+            p999_us: latency.quantile_us(0.999),
             max_us: latency.max_us,
         },
     };

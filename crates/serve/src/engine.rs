@@ -2,10 +2,11 @@
 //! and snapshot orchestration.
 //!
 //! The engine is single-writer: one thread (the replay driver, or any
-//! caller) pushes candidates, observations and queries; `shards` worker
-//! threads apply them. Ingest queues are **bounded** — when a shard falls
-//! behind, the writer blocks on that shard's queue after bumping the
-//! `serve.backpressure` counter, so memory stays flat under any load
+//! caller) pushes candidates, observations and queries; the scheduler
+//! behind [`crate::runtime::ShardRuntime`] applies them on its worker
+//! threads. Ingest queues are **bounded** — when a shard falls behind, the
+//! writer blocks on that shard's queue after bumping the
+//! `serve.backpressure` counters, so memory stays flat under any load
 //! imbalance instead of buffering the whole stream.
 //!
 //! Query answers arrive on a shared reply channel in nondeterministic
@@ -15,27 +16,29 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver};
 use pmr_core::{PmrError, PmrResult};
 use pmr_sim::{Timestamp, TweetId, UserId};
 
-use crate::config::{EngineConfig, RuntimeOptions};
-use crate::shard::{Recommendation, ShardMsg, ShardReply, ShardWorker, TweetFeatures, UserState};
+use crate::config::{EngineConfig, RuntimeOptions, Scheduler};
+use crate::runtime::ShardRuntime;
+use crate::shard::{Recommendation, ShardMsg, ShardReply, TweetFeatures, UserState};
 use crate::snapshot::{EngineSnapshot, SnapshotHeader, SNAPSHOT_VERSION};
 
 /// A running sharded serving engine.
 pub struct Engine {
     config: EngineConfig,
-    // pmr-lint: allow(channel-cycle): the engine drains the unbounded reply channel before and while blocking on a full ingest queue, so the cycle cannot fill both ways
-    senders: Vec<Sender<ShardMsg>>,
+    runtime: ShardRuntime,
     reply_rx: Receiver<ShardReply>,
-    workers: Vec<JoinHandle<()>>,
     next_query: u64,
     answered: BTreeMap<u64, Recommendation>,
+    /// Query ids answered since the last [`Engine::poll_answered`] call.
+    /// Filled by every internal drain so opportunistic draining (e.g. in
+    /// [`Engine::query`]) never swallows a completion notification.
+    newly_answered: Vec<u64>,
     /// Set when a shard worker dies mid-stream (its [`ShardReply::Aborted`]
-    /// or a disconnected ingest queue); fails the next snapshot barrier.
+    /// or a rejected post); fails the next snapshot barrier.
     aborted: Option<String>,
 }
 
@@ -79,6 +82,13 @@ impl Engine {
     ) -> Engine {
         let runtime = runtime.normalized();
         pmr_obs::gauge_set("serve.shards", runtime.shards as f64);
+        pmr_obs::gauge_set(
+            "serve.workers",
+            match runtime.scheduler {
+                Scheduler::Threaded => runtime.shards,
+                Scheduler::WorkSteal => runtime.workers,
+            } as f64,
+        );
         pmr_obs::gauge_set("serve.queue_capacity", runtime.queue_capacity as f64);
         let mut partitions: Vec<BTreeMap<UserId, UserState>> =
             (0..runtime.shards).map(|_| BTreeMap::new()).collect();
@@ -86,22 +96,14 @@ impl Engine {
             partitions[user.0 as usize % runtime.shards].insert(user, state);
         }
         let (reply_tx, reply_rx) = channel::unbounded();
-        let mut senders = Vec::with_capacity(runtime.shards);
-        let mut workers = Vec::with_capacity(runtime.shards);
-        for (shard, partition) in partitions.into_iter().enumerate() {
-            let (tx, rx) = channel::bounded(runtime.queue_capacity);
-            let worker =
-                ShardWorker::new(shard, config, runtime.retrieval, partition, rx, reply_tx.clone());
-            senders.push(tx);
-            workers.push(std::thread::spawn(move || worker.run()));
-        }
+        let runtime = ShardRuntime::start(config, runtime, partitions, &reply_tx);
         Engine {
             config,
-            senders,
+            runtime,
             reply_rx,
-            workers,
             next_query,
             answered: BTreeMap::new(),
+            newly_answered: Vec::new(),
             aborted: None,
         }
     }
@@ -111,37 +113,28 @@ impl Engine {
         self.config
     }
 
-    /// Number of shard workers.
+    /// Number of logical shards.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.runtime.shards()
     }
 
     fn shard_of(&self, user: UserId) -> usize {
-        user.0 as usize % self.senders.len()
+        user.0 as usize % self.runtime.shards()
     }
 
     /// Deliver to a shard, blocking (with a backpressure count) when its
-    /// queue is full. A dead shard (its queue disconnected mid-stream) is
-    /// recorded instead of panicking the writer; the next snapshot barrier
-    /// surfaces it as a typed error.
+    /// queue is full. A dead shard is recorded instead of panicking the
+    /// writer; the next snapshot barrier surfaces it as a typed error.
     fn post(&mut self, shard: usize, msg: ShardMsg) {
-        let msg = match self.senders[shard].try_send(msg) {
-            Ok(()) => return,
-            Err(TrySendError::Full(m)) => {
-                pmr_obs::counter_add("serve.backpressure", 1);
-                m
-            }
-            Err(TrySendError::Disconnected(m)) => m,
-        };
-        if self.senders[shard].send(msg).is_err() {
+        if self.runtime.post(shard, msg).is_err() {
             self.record_abort(shard);
         }
     }
 
-    /// A shard's ingest queue disconnected while the stream is still open:
-    /// the worker died. Drain the reply queue for its [`ShardReply::Aborted`]
-    /// (the panic guard sends one, but the disconnect can be observed
-    /// first), falling back to a generic message.
+    /// A shard rejected a post while the stream is still open: a worker
+    /// died. Drain the reply queue for its [`ShardReply::Aborted`] (the
+    /// panic guard sends one, but the rejection can be observed first),
+    /// falling back to a generic message.
     fn record_abort(&mut self, shard: usize) {
         pmr_obs::counter_add("serve.shard_aborts", 1);
         self.drain_ready();
@@ -189,11 +182,25 @@ impl Engine {
         self.next_query
     }
 
+    /// Drain any ready replies without blocking and return the ids of all
+    /// queries answered since the last call, ascending — including ones
+    /// collected by the engine's own opportunistic drains in the meantime.
+    /// Load harnesses use this to timestamp query completion (sojourn
+    /// time) without waiting for [`Engine::finish`]; replies arrive in
+    /// nondeterministic cross-shard order, but the ids are issue-time
+    /// sequence numbers.
+    pub fn poll_answered(&mut self) -> Vec<u64> {
+        self.drain_ready();
+        let mut ids = std::mem::take(&mut self.newly_answered);
+        ids.sort_unstable();
+        ids
+    }
+
     fn drain_ready(&mut self) {
         while let Ok(reply) = self.reply_rx.try_recv() {
             // Snapshot parts cannot appear here: `snapshot` collects all of
             // them before returning, so outside that barrier the reply
-            // queue only ever carries recommendations.
+            // queue only ever carries recommendations (or an abort).
             let _ = self.stash(reply);
         }
     }
@@ -203,6 +210,7 @@ impl Engine {
     fn stash(&mut self, reply: ShardReply) -> Option<Vec<crate::snapshot::UserSnapshot>> {
         match reply {
             ShardReply::Recommendation(rec) => {
+                self.newly_answered.push(rec.query);
                 self.answered.insert(rec.query, rec);
                 None
             }
@@ -231,11 +239,12 @@ impl Engine {
     /// worker's panic guard turns the death into a [`ShardReply::Aborted`]
     /// the loop below observes.
     pub fn snapshot(&mut self, events: u64) -> PmrResult<EngineSnapshot> {
-        for shard in 0..self.senders.len() {
+        let shards = self.runtime.shards();
+        for shard in 0..shards {
             self.post(shard, ShardMsg::Snapshot);
         }
         let mut parts: Vec<Vec<crate::snapshot::UserSnapshot>> = Vec::new();
-        while parts.len() < self.senders.len() && self.aborted.is_none() {
+        while parts.len() < shards && self.aborted.is_none() {
             match self.reply_rx.recv() {
                 Ok(reply) => {
                     if let Some(users) = self.stash(reply) {
@@ -245,7 +254,7 @@ impl Engine {
                 Err(_) => break,
             }
         }
-        if parts.len() != self.senders.len() {
+        if parts.len() != shards {
             let detail = self.aborted.clone().unwrap_or_else(|| {
                 "shard workers exited before answering the snapshot barrier".to_string()
             });
@@ -265,19 +274,40 @@ impl Engine {
         })
     }
 
+    /// Close the stream, drain every shard, and stop and join the worker
+    /// threads. Idempotent — a second call (or the [`Drop`] after an
+    /// explicit call) is a no-op — and deliberately panic-free even after
+    /// an abort: a panicked worker is recorded and surfaced through the
+    /// sticky `aborted` state, while [`Engine::finish`] remains the path
+    /// that re-raises it.
+    pub fn shutdown(&mut self) {
+        self.runtime.shutdown();
+        self.drain_ready();
+        if self.runtime.panicked() && self.aborted.is_none() {
+            self.aborted = Some("a shard worker panicked".to_string());
+        }
+    }
+
     /// Close the stream, wait for every shard to drain, and return all
     /// recommendations in query-id order.
+    ///
+    /// Panics if a shard worker panicked — callers that need a panic-free
+    /// teardown after an abort use [`Engine::shutdown`] (or just drop the
+    /// engine) instead.
     pub fn finish(mut self) -> Vec<Recommendation> {
-        self.senders.clear();
-        for handle in self.workers.drain(..) {
-            let ok = handle.join().is_ok();
-            assert!(ok, "a shard worker panicked");
-        }
-        while let Ok(reply) = self.reply_rx.try_recv() {
-            let _ = self.stash(reply);
-        }
-        let answered = std::mem::take(&mut self.answered);
-        answered.into_values().collect()
+        self.shutdown();
+        assert!(!self.runtime.panicked(), "a shard worker panicked");
+        std::mem::take(&mut self.answered).into_values().collect()
+    }
+}
+
+impl Drop for Engine {
+    /// Join the worker threads even when the engine is dropped without
+    /// [`Engine::finish`] — including after an [`PmrError::EngineAborted`]
+    /// barrier failure. Never panics: a double panic during unwinding
+    /// would abort the process.
+    fn drop(&mut self) {
+        self.runtime.shutdown();
     }
 }
 
@@ -285,7 +315,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("config", &self.config)
-            .field("shards", &self.senders.len())
+            .field("shards", &self.runtime.shards())
             .field("next_query", &self.next_query)
             .field("answered", &self.answered.len())
             .finish()
@@ -390,8 +420,59 @@ mod tests {
         assert!(err.to_string().contains("shard 0"), "the error names the dead shard: {err}");
         // The engine stays failed: a second barrier errors too.
         assert!(engine.snapshot(2).is_err());
-        // Don't `finish()`: its join assert is *supposed* to propagate the
-        // worker panic. Dropping the engine detaches the live worker.
+        // Don't `finish()`: its assert is *supposed* to propagate the
+        // worker panic. Dropping the engine joins the workers panic-free.
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        for scheduler in [Scheduler::Threaded, Scheduler::WorkSteal] {
+            let mut engine = Engine::start(
+                bag_config(8),
+                RuntimeOptions {
+                    shards: 3,
+                    workers: 2,
+                    queue_capacity: 4,
+                    scheduler,
+                    ..RuntimeOptions::default()
+                },
+            );
+            let user = UserId(1);
+            let features = unit(0);
+            engine.observe(user, &features);
+            engine.post_candidate(user, TweetId(7), 5, &features);
+            engine.query(user, 3, 10);
+            engine.shutdown();
+            engine.shutdown(); // double shutdown must be a no-op
+            let recs = engine.finish(); // finish after shutdown is fine too
+            assert_eq!(recs.len(), 1, "{} loses answers on shutdown", scheduler.name());
+            assert_eq!(recs[0].items.len(), 1);
+        }
+    }
+
+    #[test]
+    fn shutdown_after_abort_joins_without_panicking() {
+        for scheduler in [Scheduler::Threaded, Scheduler::WorkSteal] {
+            let mut engine = Engine::start(
+                bag_config(4),
+                RuntimeOptions {
+                    shards: 2,
+                    workers: 2,
+                    queue_capacity: 4,
+                    scheduler,
+                    ..RuntimeOptions::default()
+                },
+            );
+            engine.observe(UserId(0), &unit(0));
+            engine.observe(UserId(1), &unit(0));
+            engine.post(0, ShardMsg::Poison);
+            assert!(engine.snapshot(2).is_err(), "{}: barrier must fail", scheduler.name());
+            // The regression: shutdown (and the drop that follows) must
+            // join the dead worker without re-raising its panic, and stay
+            // idempotent after the abort.
+            engine.shutdown();
+            engine.shutdown();
+        }
     }
 
     #[test]

@@ -16,27 +16,33 @@
 //!                      │  · fan out to followers      │
 //!                      └──────┬───────┬───────────────┘
 //!                   bounded   │       │   bounded
-//!                   FIFO ▼    ▼       ▼   FIFO
+//!                mailbox ▼    ▼       ▼   mailbox
 //!                  ┌───────┐ ┌───────┐ ┌───────┐
-//!                  │shard 0│ │shard 1│ │shard N│   user_id % shards
+//!                  │shard 0│ │shard 1│ │shard L│   user_id % shards
 //!                  │models+│ │models+│ │models+│   one user ↦ one shard
-//!                  │windows│ │windows│ │windows│
+//!                  │windows│ │windows│ │windows│   (logical shards)
 //!                  └───┬───┘ └───┬───┘ └───┬───┘
-//!                      └───────┬─┴─────────┘
-//!                              ▼ replies (re-sequenced by query id)
+//!                      └─────────┼─────────┘
+//!              run queue ─▶ ┌────┴────┐ ◀─ N worker threads
+//!              (steal any   │scheduler│    (or one thread per
+//!               runnable    └────┬────┘     shard: `Threaded`)
+//!               shard)           │
+//!                                ▼ replies (re-sequenced by query id)
 //!                      recommendations / snapshots
 //! ```
 //!
 //! ## The determinism contract
 //!
 //! The engine's output — the recommendation log and any snapshot — is a
-//! pure function of the event stream and the [`EngineConfig`]. Shard
-//! count, queue capacity and feature-precompute thread count are
-//! *mechanical* knobs that must never change a byte of output:
+//! pure function of the event stream and the [`EngineConfig`]. Logical
+//! shard count, worker thread count, scheduler, queue capacity and
+//! feature-precompute thread count are *mechanical* knobs that must never
+//! change a byte of output:
 //!
 //! * each user's state lives in exactly one shard and receives its
-//!   messages through one FIFO in global stream order, so per-user state
-//!   evolution is layout-independent;
+//!   messages through one FIFO in global stream order, and a shard is
+//!   applied by at most one worker at a time, so per-user state evolution
+//!   is layout-independent;
 //! * query answers are re-sequenced by their issue-time ids before
 //!   anything user-visible sees them;
 //! * there is no wall-clock anywhere in the serving path — time is the
@@ -54,13 +60,14 @@ pub mod config;
 pub mod engine;
 pub mod ingest;
 pub mod replay;
+mod runtime;
 pub mod shard;
 pub mod snapshot;
 
-pub use config::{EngineConfig, RuntimeOptions, ServeModel};
+pub use config::{EngineConfig, RuntimeOptions, Scheduler, ServeModel};
 pub use engine::Engine;
 pub use ingest::{ingest_stream, IngestOptions, IngestOutcome};
-pub use replay::{rec_log, Replay, ReplayOptions, ReplayOutcome};
+pub use replay::{precompute_features, rec_log, Replay, ReplayOptions, ReplayOutcome};
 pub use shard::{RecItem, Recommendation, TweetFeatures};
 pub use snapshot::{
     EngineSnapshot, SnapshotHeader, UserModelSnapshot, UserSnapshot, WindowEntrySnapshot,

@@ -82,8 +82,12 @@ pub struct ReplayOutcome {
     pub queries: u64,
 }
 
-/// Per-tweet features for the originals of a corpus, indexed by tweet id.
-fn build_features(
+/// Per-tweet features for the originals of a corpus, indexed by tweet id
+/// (retweet slots are `None`; a retweet carries its original's features).
+/// Precomputation order is canonical regardless of `jobs`, so the table is
+/// a pure function of the corpus and model. Public so load harnesses can
+/// drive an [`Engine`] directly with replay-identical features.
+pub fn precompute_features(
     prepared: &PreparedCorpus,
     model: ServeModel,
     jobs: usize,
@@ -126,7 +130,7 @@ pub struct Replay<'a> {
 impl<'a> Replay<'a> {
     /// Precompute features and spawn a fresh engine at stream position 0.
     pub fn new(prepared: &'a PreparedCorpus, options: ReplayOptions) -> Replay<'a> {
-        let features = build_features(prepared, options.config.model, options.jobs);
+        let features = precompute_features(prepared, options.config.model, options.jobs);
         let engine = Engine::start(options.config, options.runtime);
         Replay {
             prepared,
@@ -154,7 +158,7 @@ impl<'a> Replay<'a> {
                 detail: "replay options disagree with the snapshot's engine config".to_owned(),
             });
         }
-        let features = build_features(prepared, options.config.model, options.jobs);
+        let features = precompute_features(prepared, options.config.model, options.jobs);
         let engine = {
             let resolve =
                 |id: TweetId| features.get(id.index()).and_then(|f| f.as_ref().map(Arc::clone));

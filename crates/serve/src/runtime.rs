@@ -1,0 +1,551 @@
+//! Shard scheduling: how logical shards map onto OS threads.
+//!
+//! The engine's determinism argument ([`crate::shard`]) only needs two
+//! properties from whatever runs the shards:
+//!
+//! 1. each shard's messages are applied in FIFO order, and
+//! 2. at most one thread applies a given shard's messages at a time.
+//!
+//! Everything else — how many threads exist, which thread runs which
+//! shard, when a shard yields — is mechanical and must never change a byte
+//! of output. This module provides two interchangeable schedulers behind
+//! [`ShardRuntime`]:
+//!
+//! * [`Scheduler::Threaded`] — the original engine: one OS thread per
+//!   shard, parked on a bounded blocking FIFO. Thread count is welded to
+//!   shard count, so it cannot scale the shard count past the core count
+//!   without thrashing. Kept as the measurable baseline (`bench_load`
+//!   publishes the head-to-head numbers).
+//!
+//! * [`Scheduler::WorkSteal`] — an actor-style work-stealing runtime:
+//!   every logical shard owns a mailbox (`Mutex<VecDeque> + Condvar`), and
+//!   `workers` OS threads pull *runnable shards* from a shared injector
+//!   queue. A shard becomes runnable when its mailbox goes non-empty; the
+//!   `scheduled` flag guarantees at most one run token per shard exists,
+//!   which is exactly invariant (2). A worker drains a shard in batches
+//!   and re-queues it after [`MAX_TURNS`] batches (a cooperative yield, so
+//!   a celebrity-storm shard cannot starve its siblings), or parks on the
+//!   injector when nothing is runnable. Whichever worker dequeues the
+//!   token runs the shard — that is the "steal": shards migrate freely
+//!   between workers, counted by `serve.runtime.steals`.
+//!
+//! Cooperative blocking in the mailbox path is intentional and bounded:
+//! the single producer parks on a full mailbox's condvar (after bumping
+//! the `serve.backpressure` counters) until a worker drains room, and
+//! shutdown parks until each mailbox is idle. Neither wait can deadlock:
+//! a non-empty mailbox always has a live run token, and every wait
+//! re-checks the runtime's abort flag on a short tick, so a dead worker
+//! fails posts fast instead of wedging the producer. Channel use is
+//! one-directional per endpoint holder (messages in via mailboxes, replies
+//! out via one unbounded channel), so no request/reply channel cycle
+//! exists for a full queue to close.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use pmr_sim::UserId;
+
+use crate::config::{EngineConfig, RuntimeOptions, Scheduler};
+use crate::shard::{panic_detail, ShardMsg, ShardReply, ShardState, UserState};
+
+/// Messages a work-steal worker pulls from the shared injector queue.
+enum Task {
+    /// Run the given shard: drain its mailbox until idle or yield.
+    Run(usize),
+    /// Exit the worker loop (sent once per worker at shutdown).
+    Stop,
+}
+
+/// Max messages drained per mailbox lock acquisition.
+const BATCH: usize = 64;
+/// Batches a worker applies before re-queuing a still-runnable shard —
+/// the cooperative yield point that keeps one hot shard from starving
+/// the rest of the run queue.
+const MAX_TURNS: usize = 8;
+/// Re-check tick for the two cooperative waits (full mailbox, shutdown
+/// quiescence): bounds the cost of any lost wakeup and lets waiters
+/// observe the abort flag promptly. Liveness only — never correctness.
+const WAIT_TICK: Duration = Duration::from_millis(1);
+
+/// Per-logical-shard backpressure counter names, log-4 bucketed by shard
+/// id so hot-key skew (a celebrity's shard saturating while the rest idle)
+/// is visible in reports without one counter per shard.
+const SHARD_BUCKETS: [&str; 11] = [
+    "serve.backpressure.shard_b0",
+    "serve.backpressure.shard_b1",
+    "serve.backpressure.shard_b2",
+    "serve.backpressure.shard_b3",
+    "serve.backpressure.shard_b4",
+    "serve.backpressure.shard_b5",
+    "serve.backpressure.shard_b6",
+    "serve.backpressure.shard_b7",
+    "serve.backpressure.shard_b8",
+    "serve.backpressure.shard_b9",
+    "serve.backpressure.shard_b10",
+];
+
+/// Log-4 bucket of a shard id: 0 → b0, 1–3 → b1, 4–15 → b2, 16–63 → b3, …
+fn shard_bucket(shard: usize) -> usize {
+    let mut bucket = 0;
+    let mut edge = 1usize;
+    while shard >= edge && bucket < SHARD_BUCKETS.len() - 1 {
+        bucket += 1;
+        edge = edge.saturating_mul(4);
+    }
+    bucket
+}
+
+/// Count one backpressure event: the aggregate counter (asserted by the
+/// scale gate) plus the shard's log-4 bucket.
+fn note_backpressure(shard: usize) {
+    pmr_obs::counter_add("serve.backpressure", 1);
+    pmr_obs::counter_add(SHARD_BUCKETS[shard_bucket(shard)], 1);
+}
+
+/// A running scheduler: accepts posted messages and owns the threads that
+/// apply them. Replies flow out through the unbounded channel the engine
+/// passed at start.
+pub(crate) enum ShardRuntime {
+    Threaded(ThreadedRuntime),
+    WorkSteal(WorkStealRuntime),
+}
+
+impl ShardRuntime {
+    /// Spawn the scheduler `options` selects over the given per-shard user
+    /// partitions (`partitions.len()` is the logical shard count).
+    pub(crate) fn start(
+        config: EngineConfig,
+        options: RuntimeOptions,
+        partitions: Vec<BTreeMap<UserId, UserState>>,
+        reply_tx: &Sender<ShardReply>,
+    ) -> ShardRuntime {
+        match options.scheduler {
+            Scheduler::Threaded => ShardRuntime::Threaded(ThreadedRuntime::start(
+                config, options, partitions, reply_tx,
+            )),
+            Scheduler::WorkSteal => ShardRuntime::WorkSteal(WorkStealRuntime::start(
+                config, options, partitions, reply_tx,
+            )),
+        }
+    }
+
+    /// Logical shard count.
+    pub(crate) fn shards(&self) -> usize {
+        match self {
+            ShardRuntime::Threaded(rt) => rt.senders.len(),
+            ShardRuntime::WorkSteal(rt) => rt.shared.cells.len(),
+        }
+    }
+
+    /// Deliver `msg` to `shard`'s FIFO, blocking (with a backpressure
+    /// count) while the queue is full. `Err` means the shard can no longer
+    /// accept messages — a worker died or the runtime was shut down.
+    pub(crate) fn post(&mut self, shard: usize, msg: ShardMsg) -> Result<(), ()> {
+        match self {
+            ShardRuntime::Threaded(rt) => rt.post(shard, msg),
+            ShardRuntime::WorkSteal(rt) => rt.post(shard, msg),
+        }
+    }
+
+    /// Drain every shard, stop every worker thread and join them.
+    /// Idempotent, and deliberately panic-free even when a worker
+    /// panicked — the engine's drop path must be able to call this during
+    /// unwinding. The panic is recorded instead ([`ShardRuntime::panicked`]).
+    pub(crate) fn shutdown(&mut self) {
+        match self {
+            ShardRuntime::Threaded(rt) => rt.shutdown(),
+            ShardRuntime::WorkSteal(rt) => rt.shutdown(),
+        }
+    }
+
+    /// Whether any worker thread panicked (observable after [`shutdown`]).
+    ///
+    /// [`shutdown`]: ShardRuntime::shutdown
+    pub(crate) fn panicked(&self) -> bool {
+        match self {
+            ShardRuntime::Threaded(rt) => rt.panicked,
+            ShardRuntime::WorkSteal(rt) => rt.panicked,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRuntime::Threaded(rt) => f
+                .debug_struct("ThreadedRuntime")
+                .field("shards", &rt.senders.len())
+                .finish_non_exhaustive(),
+            ShardRuntime::WorkSteal(rt) => f
+                .debug_struct("WorkStealRuntime")
+                .field("shards", &rt.shared.cells.len())
+                .field("workers", &rt.workers)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded: one OS thread per shard behind a bounded blocking FIFO.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ThreadedRuntime {
+    senders: Vec<Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    panicked: bool,
+}
+
+impl ThreadedRuntime {
+    fn start(
+        config: EngineConfig,
+        options: RuntimeOptions,
+        partitions: Vec<BTreeMap<UserId, UserState>>,
+        reply_tx: &Sender<ShardReply>,
+    ) -> ThreadedRuntime {
+        let mut senders = Vec::with_capacity(partitions.len());
+        let mut handles = Vec::with_capacity(partitions.len());
+        for (shard, users) in partitions.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded(options.queue_capacity);
+            let state = ShardState::new(shard, config, options.retrieval, users);
+            let reply = reply_tx.clone();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || threaded_worker(shard, state, rx, reply)));
+        }
+        ThreadedRuntime { senders, handles, panicked: false }
+    }
+
+    fn post(&mut self, shard: usize, msg: ShardMsg) -> Result<(), ()> {
+        let msg = match self.senders[shard].try_send(msg) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(m)) => {
+                note_backpressure(shard);
+                m
+            }
+            Err(TrySendError::Disconnected(m)) => m,
+        };
+        self.senders[shard].send(msg).map_err(|_| ())
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the senders disconnects every FIFO; each worker drains
+        // what is already queued, then its `recv` errors and it exits.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            if handle.join().is_err() {
+                self.panicked = true;
+            }
+        }
+    }
+}
+
+/// One shard thread: applies the FIFO under a panic guard. A panic
+/// anywhere in message handling sends [`ShardReply::Aborted`] before the
+/// thread dies, so the engine's snapshot barrier fails fast instead of
+/// waiting forever for a reply from a dead shard while its siblings keep
+/// the reply channel open. The panic is re-raised afterwards so the
+/// shutdown join still observes it.
+fn threaded_worker(
+    shard: usize,
+    state: ShardState,
+    rx: Receiver<ShardMsg>,
+    reply: Sender<ShardReply>,
+) {
+    let reply_guard = reply.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut state = state;
+        let mut replies = Vec::new();
+        while let Ok(msg) = rx.recv() {
+            state.apply(msg, &mut replies);
+            for r in replies.drain(..) {
+                let _ = reply.send(r);
+            }
+        }
+    }));
+    if let Err(payload) = result {
+        let detail = panic_detail(payload.as_ref());
+        let _ = reply_guard.send(ShardReply::Aborted { shard, detail });
+        drop(reply_guard);
+        std::panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WorkSteal: per-shard mailboxes multiplexed over N worker threads.
+// ---------------------------------------------------------------------------
+
+/// One logical shard's mailbox. Invariant: `queue` non-empty ⇒ `scheduled`
+/// — every message posted into an unscheduled mailbox enqueues exactly one
+/// run token, and only the worker that empties the queue clears the flag,
+/// so a runnable shard always has a live token and a shard is never run by
+/// two workers at once.
+struct Mailbox {
+    queue: VecDeque<ShardMsg>,
+    scheduled: bool,
+    /// Worker that last ran this shard (`usize::MAX` before the first
+    /// run); a different worker picking the token up counts as a steal.
+    last_worker: usize,
+}
+
+struct ShardCell {
+    mailbox: Mutex<Mailbox>,
+    /// Notified when a drain frees capacity in a previously-full mailbox
+    /// and when the mailbox goes idle (empty and descheduled); the waiters
+    /// are the backpressured producer and shutdown's quiescence loop.
+    vacant: Condvar,
+    /// The shard's user partition. Only the token-holding worker locks it,
+    /// so the lock is uncontended; it exists to move the state between
+    /// workers safely as the shard migrates.
+    state: Mutex<ShardState>,
+}
+
+struct WsShared {
+    cells: Vec<ShardCell>,
+    capacity: usize,
+    /// Set by a panicking worker before it dies; every cooperative wait
+    /// re-checks it so the producer and shutdown fail fast instead of
+    /// waiting on a shard whose run token died with the worker.
+    aborted: AtomicBool,
+}
+
+pub(crate) struct WorkStealRuntime {
+    shared: Arc<WsShared>,
+    injector_tx: Sender<Task>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    panicked: bool,
+}
+
+impl WorkStealRuntime {
+    fn start(
+        config: EngineConfig,
+        options: RuntimeOptions,
+        partitions: Vec<BTreeMap<UserId, UserState>>,
+        reply_tx: &Sender<ShardReply>,
+    ) -> WorkStealRuntime {
+        let cells: Vec<ShardCell> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(shard, users)| ShardCell {
+                mailbox: Mutex::new(Mailbox {
+                    queue: VecDeque::new(),
+                    scheduled: false,
+                    last_worker: usize::MAX,
+                }),
+                vacant: Condvar::new(),
+                state: Mutex::new(ShardState::new(shard, config, options.retrieval, users)),
+            })
+            .collect();
+        let shared = Arc::new(WsShared {
+            cells,
+            capacity: options.queue_capacity,
+            aborted: AtomicBool::new(false),
+        });
+        let (injector_tx, injector_rx) = channel::unbounded();
+        let handles = (0..options.workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                let tasks = injector_rx.clone();
+                let injector = injector_tx.clone();
+                let reply = reply_tx.clone();
+                std::thread::spawn(move || ws_worker(worker, &shared, &tasks, &injector, &reply))
+            })
+            .collect();
+        WorkStealRuntime { shared, injector_tx, handles, workers: options.workers, panicked: false }
+    }
+
+    fn post(&mut self, shard: usize, msg: ShardMsg) -> Result<(), ()> {
+        if self.handles.is_empty() {
+            return Err(()); // already shut down
+        }
+        let cell = &self.shared.cells[shard];
+        let schedule = {
+            let mut mb = cell.mailbox.lock().unwrap_or_else(PoisonError::into_inner);
+            if mb.queue.len() >= self.shared.capacity {
+                note_backpressure(shard);
+                // Cooperative wait for a worker to drain room. The timeout
+                // tick only bounds lost wakeups and abort latency; a full
+                // queue implies a live run token, so progress is a worker
+                // away unless the runtime aborted.
+                while mb.queue.len() >= self.shared.capacity {
+                    if self.shared.aborted.load(Ordering::Acquire) {
+                        return Err(());
+                    }
+                    let (guard, _timeout) = cell
+                        .vacant
+                        .wait_timeout(mb, WAIT_TICK)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    mb = guard;
+                }
+            }
+            mb.queue.push_back(msg);
+            !std::mem::replace(&mut mb.scheduled, true)
+        };
+        if schedule {
+            self.injector_tx.send(Task::Run(shard)).map_err(|_| ())?;
+        }
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        // Quiesce: wait until every mailbox is empty and descheduled (all
+        // run tokens retired), so no worker is mid-shard when the Stop
+        // tokens go out. An abort breaks the wait — a dead worker's shard
+        // may never drain.
+        for cell in &self.shared.cells {
+            let mut mb = cell.mailbox.lock().unwrap_or_else(PoisonError::into_inner);
+            while (!mb.queue.is_empty() || mb.scheduled)
+                && !self.shared.aborted.load(Ordering::Acquire)
+            {
+                let (guard, _timeout) =
+                    cell.vacant.wait_timeout(mb, WAIT_TICK).unwrap_or_else(PoisonError::into_inner);
+                mb = guard;
+            }
+        }
+        for _ in 0..self.handles.len() {
+            let _ = self.injector_tx.send(Task::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            if handle.join().is_err() {
+                self.panicked = true;
+            }
+        }
+    }
+}
+
+/// One work-steal worker: pull run tokens off the injector, drain the
+/// named shard, park when nothing is runnable. The per-token panic guard
+/// mirrors [`threaded_worker`]'s: record the abort, wake every waiter,
+/// send [`ShardReply::Aborted`], re-raise.
+fn ws_worker(
+    worker: usize,
+    shared: &WsShared,
+    tasks: &Receiver<Task>,
+    injector: &Sender<Task>,
+    reply: &Sender<ShardReply>,
+) {
+    loop {
+        let task = match tasks.try_recv() {
+            Ok(task) => task,
+            Err(TryRecvError::Empty) => {
+                pmr_obs::counter_add("serve.runtime.parks", 1);
+                match tasks.recv() {
+                    Ok(task) => task,
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => return,
+        };
+        let shard = match task {
+            Task::Run(shard) => shard,
+            Task::Stop => return,
+        };
+        let turn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shard(worker, shard, shared, injector, reply);
+        }));
+        if let Err(payload) = turn {
+            let detail = panic_detail(payload.as_ref());
+            record_ws_abort(shared, reply, shard, detail);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Drain `shard`'s mailbox in batches while holding its run token: apply
+/// up to [`BATCH`] messages per mailbox lock, release the token when the
+/// queue empties, or re-queue the shard after [`MAX_TURNS`] batches — the
+/// cooperative yield point between ingest, query and snapshot work.
+fn run_shard(
+    worker: usize,
+    shard: usize,
+    shared: &WsShared,
+    injector: &Sender<Task>,
+    reply: &Sender<ShardReply>,
+) {
+    let cell = &shared.cells[shard];
+    let mut replies: Vec<ShardReply> = Vec::new();
+    for _turn in 0..MAX_TURNS {
+        let (batch, was_full) = {
+            let mut mb = cell.mailbox.lock().unwrap_or_else(PoisonError::into_inner);
+            if mb.last_worker != worker {
+                if mb.last_worker != usize::MAX {
+                    pmr_obs::counter_add("serve.runtime.steals", 1);
+                }
+                mb.last_worker = worker;
+            }
+            let was_full = mb.queue.len() >= shared.capacity;
+            let n = mb.queue.len().min(BATCH);
+            let batch: Vec<ShardMsg> = mb.queue.drain(..n).collect();
+            (batch, was_full)
+        };
+        if was_full {
+            // The producer may be parked on the full mailbox; the drain
+            // above freed room.
+            cell.vacant.notify_all();
+        }
+        {
+            let mut state = cell.state.lock().unwrap_or_else(PoisonError::into_inner);
+            for msg in batch {
+                state.apply(msg, &mut replies);
+            }
+        }
+        for r in replies.drain(..) {
+            let _ = reply.send(r);
+        }
+        let idle = {
+            let mut mb = cell.mailbox.lock().unwrap_or_else(PoisonError::into_inner);
+            if mb.queue.is_empty() {
+                mb.scheduled = false;
+                true
+            } else {
+                false
+            }
+        };
+        if idle {
+            // Shutdown's quiescence loop watches for empty + descheduled.
+            cell.vacant.notify_all();
+            return;
+        }
+    }
+    pmr_obs::counter_add("serve.runtime.yields", 1);
+    let _ = injector.send(Task::Run(shard));
+}
+
+/// A worker is dying: set the abort flag, tell the engine, and wake every
+/// cooperative waiter so nothing stays parked on a shard whose run token
+/// just died.
+fn record_ws_abort(shared: &WsShared, reply: &Sender<ShardReply>, shard: usize, detail: String) {
+    shared.aborted.store(true, Ordering::Release);
+    let _ = reply.send(ShardReply::Aborted { shard, detail });
+    for cell in &shared.cells {
+        // Lock-then-notify: serializes with a waiter between its abort
+        // check and its wait, so the wakeup cannot be lost (the wait tick
+        // bounds the cost even if it were).
+        drop(cell.mailbox.lock().unwrap_or_else(PoisonError::into_inner));
+        cell.vacant.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_buckets_are_log4() {
+        assert_eq!(shard_bucket(0), 0);
+        assert_eq!(shard_bucket(1), 1);
+        assert_eq!(shard_bucket(3), 1);
+        assert_eq!(shard_bucket(4), 2);
+        assert_eq!(shard_bucket(15), 2);
+        assert_eq!(shard_bucket(16), 3);
+        assert_eq!(shard_bucket(63), 3);
+        assert_eq!(shard_bucket(64), 4);
+        assert_eq!(shard_bucket(usize::MAX), SHARD_BUCKETS.len() - 1);
+    }
+}

@@ -1,18 +1,21 @@
-//! Shard workers: the per-user online state and the message protocol.
+//! Shard state: the per-user online models and the message protocol.
 //!
-//! Every user's model and candidate window live in exactly one shard
-//! (`user_id % shards`), and the single ingest thread sends a user's
-//! messages through that shard's FIFO channel in global stream order. A
+//! Every user's model and candidate window live in exactly one logical
+//! shard (`user_id % shards`), and the single ingest thread sends a user's
+//! messages through that shard's FIFO (a blocking channel under
+//! [`crate::config::Scheduler::Threaded`], a mailbox under
+//! [`crate::config::Scheduler::WorkSteal`]) in global stream order. A
 //! user's state therefore evolves through the same sequence of updates no
 //! matter how many shards or threads exist — the mechanical layout only
 //! changes *which thread* applies the sequence, never the sequence itself.
 //! That argument is the whole determinism proof; everything else in this
-//! module is bookkeeping.
+//! module is bookkeeping. The thread-scheduling half lives in
+//! [`crate::runtime`]; this module owns the pure state transition
+//! ([`ShardState::apply`]).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
 use pmr_bag::{ScoringKernel, SparseVector};
 use pmr_core::{rank_cmp, OnlineGraphModel, OnlineProfile, RetrievalMode, WindowPostings};
 use pmr_sim::{Timestamp, TweetId, UserId};
@@ -221,70 +224,51 @@ impl UserState {
     }
 }
 
-/// One shard's event loop: owns a partition of the user space and applies
-/// its FIFO message stream until the ingest side hangs up.
-pub(crate) struct ShardWorker {
+/// One logical shard's complete state: a partition of the user space plus
+/// the pure message-transition function ([`ShardState::apply`]). Owns no
+/// thread and no channel — the scheduling half ([`crate::runtime`]) decides
+/// which OS thread applies the shard's FIFO, and collects the replies
+/// `apply` pushes.
+pub(crate) struct ShardState {
     shard: usize,
     config: EngineConfig,
     /// Mechanical retrieval mode (from [`crate::config::RuntimeOptions`]):
     /// both settings produce byte-identical recommendations.
     retrieval: RetrievalMode,
     users: BTreeMap<UserId, UserState>,
-    rx: Receiver<ShardMsg>,
-    // pmr-lint: allow(channel-cycle): reply channel is unbounded, so replies never block a worker that the engine is blocked on
-    reply: Sender<ShardReply>,
 }
 
-impl ShardWorker {
+impl ShardState {
     pub(crate) fn new(
         shard: usize,
         config: EngineConfig,
         retrieval: RetrievalMode,
         users: BTreeMap<UserId, UserState>,
-        rx: Receiver<ShardMsg>,
-        reply: Sender<ShardReply>,
-    ) -> ShardWorker {
-        ShardWorker { shard, config, retrieval, users, rx, reply }
+    ) -> ShardState {
+        ShardState { shard, config, retrieval, users }
     }
 
-    /// Run the event loop under a panic guard. A panic anywhere in message
-    /// handling sends [`ShardReply::Aborted`] before the thread dies, so
-    /// the engine's snapshot barrier fails fast instead of waiting forever
-    /// for a reply from a dead shard while its siblings keep the reply
-    /// channel open. The panic is re-raised afterwards so
-    /// [`Engine::finish`]'s join still observes it.
-    pub(crate) fn run(self) {
-        let shard = self.shard;
-        let reply = self.reply.clone();
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || self.event_loop()));
-        if let Err(payload) = result {
-            let detail = panic_detail(payload.as_ref());
-            let _ = reply.send(ShardReply::Aborted { shard, detail });
-            drop(reply);
-            std::panic::resume_unwind(payload);
-        }
-    }
-
-    fn event_loop(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                ShardMsg::Candidate { user, tweet, at, features } => {
-                    self.candidate(user, tweet, at, features);
-                }
-                ShardMsg::Observe { user, features } => self.observe(user, &features),
-                ShardMsg::Query { id, user, k, now } => {
-                    let rec = self.query(id, user, k, now);
-                    let _ = self.reply.send(ShardReply::Recommendation(rec));
-                }
-                ShardMsg::Snapshot => {
-                    let users = self.users.iter().map(|(u, s)| s.snapshot(*u)).collect();
-                    let _ = self.reply.send(ShardReply::SnapshotPart { users });
-                }
-                #[cfg(test)]
-                // pmr-lint: allow(lib-unwrap): test-only poison pill; the panic is the point
-                ShardMsg::Poison => panic!("shard {} poisoned", self.shard),
+    /// Apply one message, pushing any replies. This is the *entire*
+    /// observable behavior of a shard: a shard's output is a fold of
+    /// `apply` over its FIFO message sequence, which is what makes the
+    /// scheduling layer provably irrelevant to the recommendation log.
+    pub(crate) fn apply(&mut self, msg: ShardMsg, replies: &mut Vec<ShardReply>) {
+        match msg {
+            ShardMsg::Candidate { user, tweet, at, features } => {
+                self.candidate(user, tweet, at, features);
             }
+            ShardMsg::Observe { user, features } => self.observe(user, &features),
+            ShardMsg::Query { id, user, k, now } => {
+                let rec = self.query(id, user, k, now);
+                replies.push(ShardReply::Recommendation(rec));
+            }
+            ShardMsg::Snapshot => {
+                let users = self.users.iter().map(|(u, s)| s.snapshot(*u)).collect();
+                replies.push(ShardReply::SnapshotPart { users });
+            }
+            #[cfg(test)]
+            // pmr-lint: allow(lib-unwrap): test-only poison pill; the panic is the point
+            ShardMsg::Poison => panic!("shard {} poisoned", self.shard),
         }
     }
 
@@ -422,7 +406,7 @@ impl ShardWorker {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -432,9 +416,10 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-impl std::fmt::Debug for ShardWorker {
+impl std::fmt::Debug for ShardState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardWorker")
+        f.debug_struct("ShardState")
+            .field("shard", &self.shard)
             .field("config", &self.config)
             .field("users", &self.users.len())
             .finish()

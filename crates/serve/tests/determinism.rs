@@ -10,7 +10,8 @@ use pmr_bag::{BagSimilarity, WeightingScheme};
 use pmr_core::{PreparedCorpus, RetrievalMode, SplitConfig};
 use pmr_graph::GraphSimilarity;
 use pmr_serve::{
-    rec_log, EngineConfig, EngineSnapshot, Replay, ReplayOptions, RuntimeOptions, ServeModel,
+    rec_log, EngineConfig, EngineSnapshot, Replay, ReplayOptions, RuntimeOptions, Scheduler,
+    ServeModel,
 };
 use pmr_sim::{generate_corpus, ScalePreset, SimConfig};
 
@@ -191,13 +192,51 @@ fn retrieval_mode_does_not_change_recommendations() {
         let exhaustive = Replay::run(&prepared, options);
         assert!(exhaustive.queries > 0, "the replay must actually issue queries");
         for shards in [1, 4] {
-            options.runtime =
-                RuntimeOptions { shards, queue_capacity: 16, retrieval: RetrievalMode::Wand };
+            options.runtime = RuntimeOptions {
+                shards,
+                queue_capacity: 16,
+                retrieval: RetrievalMode::Wand,
+                ..RuntimeOptions::default()
+            };
             let indexed = Replay::run(&prepared, options);
             assert_eq!(
                 rec_log(&indexed.recommendations).expect("log serializes"),
                 rec_log(&exhaustive.recommendations).expect("log serializes"),
                 "wand over {shards} shard(s) must replicate exhaustive scoring byte-for-byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_and_worker_count_do_not_change_recommendations() {
+    // The work-stealing runtime multiplexes logical shards over arbitrary
+    // worker counts; the thread-per-shard baseline pins one thread per
+    // shard. All of it is mechanical: same shards, same bytes.
+    for (seed, options) in [(51, bag_options()), (52, graph_options())] {
+        let prepared = prepared(seed);
+        let mut options = options;
+        options.runtime = RuntimeOptions {
+            shards: 8,
+            queue_capacity: 8,
+            scheduler: Scheduler::Threaded,
+            ..RuntimeOptions::default()
+        };
+        let threaded = Replay::run(&prepared, options);
+        assert!(threaded.queries > 0, "the replay must actually issue queries");
+        for workers in [1, 4] {
+            options.runtime = RuntimeOptions {
+                shards: 8,
+                workers,
+                queue_capacity: 8,
+                scheduler: Scheduler::WorkSteal,
+                ..RuntimeOptions::default()
+            };
+            let stolen = Replay::run(&prepared, options);
+            assert_eq!(
+                rec_log(&stolen.recommendations).expect("log serializes"),
+                rec_log(&threaded.recommendations).expect("log serializes"),
+                "worksteal({workers} workers) must replicate thread-per-shard byte-for-byte"
             );
         }
     }
