@@ -53,6 +53,12 @@ struct ServeBaseline {
     observes: u64,
     backpressure: u64,
     window_evictions: u64,
+    /// Fold-in Gibbs sweeps run across all shards (0 for the gram
+    /// families). Layout-dependent via the per-shard θ memo, which is fine
+    /// here: this file is excluded from determinism comparisons.
+    topic_foldin_iters: u64,
+    /// Background-model (re)trains, including the epoch-0 bootstrap.
+    topic_background_refreshes: u64,
     prep_s: f64,
     replay_s: f64,
     events_per_sec: f64,
@@ -62,9 +68,9 @@ struct ServeBaseline {
 fn usage(problem: &str) -> ! {
     eprintln!("bench_serve: {problem}");
     eprintln!(
-        "usage: bench_serve [--scale smoke|default|full] [--seed N] [--model bag|graph] \
+        "usage: bench_serve [--scale smoke|default|full] [--seed N] [--model bag|graph|topic] \
          [--shards N] [--workers N] [--scheduler threaded|worksteal] [--jobs N] [--k N] \
-         [--query-every N] [--window N] [--queue N] [--out PATH] [--rec-log PATH]"
+         [--query-every N] [--window N] [--queue N] [--refresh N] [--out PATH] [--rec-log PATH]"
     );
     exit(2);
 }
@@ -81,6 +87,7 @@ fn main() {
     let mut query_every: usize = 25;
     let mut window: usize = 128;
     let mut queue: usize = 1024;
+    let mut refresh: u64 = 0;
     let mut out = String::from("results/BENCH_serve.json");
     let mut rec_log_path: Option<String> = None;
 
@@ -126,6 +133,10 @@ fn main() {
             "--queue" => {
                 queue = value("--queue").parse().unwrap_or_else(|_| usage("--queue wants a number"))
             }
+            "--refresh" => {
+                refresh =
+                    value("--refresh").parse().unwrap_or_else(|_| usage("--refresh wants a number"))
+            }
             "--out" => out = value("--out"),
             "--rec-log" => rec_log_path = Some(value("--rec-log")),
             other => usage(&format!("unknown flag {other}")),
@@ -145,7 +156,20 @@ fn main() {
             char_grams: false,
             n: 1,
         },
-        other => usage(&format!("unknown model {other:?} (bag|graph)")),
+        // Paper-style priors (α = 50/K, β = 0.01) at a serving-friendly
+        // budget; `--refresh 0` (the default) keeps the epoch-0 background
+        // for the whole replay.
+        "topic" => ServeModel::Topic {
+            topics: 16,
+            alpha: 50.0 / 16.0,
+            beta: 0.01,
+            train_iterations: 50,
+            foldin_iterations: 8,
+            seed,
+            decay: 0.99,
+            background_refresh: refresh,
+        },
+        other => usage(&format!("unknown model {other:?} (bag|graph|topic)")),
     };
 
     // The injected-clock recorder feeds the `serve.query` histogram and
@@ -200,6 +224,8 @@ fn main() {
         observes: metrics.counter("serve.observes"),
         backpressure: metrics.counter("serve.backpressure"),
         window_evictions: metrics.counter("serve.window_evictions"),
+        topic_foldin_iters: metrics.counter("serve.topic.foldin_iters"),
+        topic_background_refreshes: metrics.counter("serve.topic.background_refresh"),
         prep_s,
         replay_s,
         events_per_sec: outcome.events as f64 / replay_s,

@@ -1,0 +1,314 @@
+//! The unified incremental-model interface the serving engine builds on.
+//!
+//! All three online families — bag, graph, topic — share the same life
+//! cycle: *observe* a document into the user's state, *decay* history,
+//! *score* a candidate, and round-trip through a *snapshot* for elastic
+//! resharding. [`IncrementalModel`] names that contract once so the
+//! serving layer (and any future family) codes against one shape instead
+//! of three ad-hoc ones.
+//!
+//! The families differ in what a snapshot needs to come back to life:
+//!
+//! * **bag** and **graph** snapshots are self-contained (`RestoreCtx =
+//!   ()`) — the model owns its feature space;
+//! * **topic** snapshots carry only the user's [`TopicProfile`]; the
+//!   shared [`TopicBackground`] is a pure function of `(corpus, config,
+//!   epoch)` and is re-derived by the restoring engine, then injected as
+//!   the restore context. Serializing φ into every user snapshot would
+//!   bloat the wire format and, worse, make snapshot bytes depend on when
+//!   the last retrain happened relative to the snapshot barrier.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use pmr_topics::{OnlineTopicModel, TopicBackground, TopicDoc, TopicProfile};
+
+use crate::online::{OnlineBagModel, OnlineGraphModel};
+
+/// An incrementally maintained user model: the serving engine's view of
+/// one family. Implementations must be *deterministic*: `observe` and
+/// `score` are pure functions of the model state and the document, never
+/// of thread, shard, or call-order context.
+pub trait IncrementalModel: Sized {
+    /// The document representation this family consumes.
+    type Doc;
+    /// The serialized form of the per-user state.
+    type Snapshot: Serialize + Deserialize;
+    /// Shared state a restore needs beyond the snapshot itself.
+    type RestoreCtx;
+
+    /// Fold one observed document into the model (one decay step, then
+    /// the document at full weight).
+    fn observe(&mut self, doc: &Self::Doc);
+
+    /// Apply one forgetting step without observing anything. A no-op for
+    /// families whose update operator has no forgetting knob (graph).
+    fn decay_step(&mut self);
+
+    /// Score a candidate document against the current model. Takes `&mut`
+    /// because the graph family interns candidate grams into its space.
+    fn score(&mut self, doc: &Self::Doc) -> f64;
+
+    /// Number of observed documents.
+    fn documents(&self) -> usize;
+
+    /// The serializable per-user state.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Rebuild from a snapshot plus the family's shared context.
+    fn restore(snapshot: Self::Snapshot, ctx: Self::RestoreCtx) -> Self;
+}
+
+impl IncrementalModel for OnlineBagModel {
+    type Doc = Vec<String>;
+    type Snapshot = OnlineBagModel;
+    type RestoreCtx = ();
+
+    fn observe(&mut self, doc: &Self::Doc) {
+        OnlineBagModel::observe(self, doc);
+    }
+
+    fn decay_step(&mut self) {
+        OnlineBagModel::decay_step(self);
+    }
+
+    fn score(&mut self, doc: &Self::Doc) -> f64 {
+        OnlineBagModel::score(self, doc)
+    }
+
+    fn documents(&self) -> usize {
+        OnlineBagModel::documents(self)
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.clone()
+    }
+
+    fn restore(snapshot: Self::Snapshot, _ctx: ()) -> Self {
+        snapshot
+    }
+}
+
+impl IncrementalModel for OnlineGraphModel {
+    type Doc = Vec<String>;
+    type Snapshot = OnlineGraphModel;
+    type RestoreCtx = ();
+
+    fn observe(&mut self, doc: &Self::Doc) {
+        OnlineGraphModel::observe(self, doc);
+    }
+
+    /// The n-gram graph update operator's `1/(k+1)` learning factor is a
+    /// running average — there is no forgetting knob to turn.
+    fn decay_step(&mut self) {}
+
+    fn score(&mut self, doc: &Self::Doc) -> f64 {
+        OnlineGraphModel::score(self, doc)
+    }
+
+    fn documents(&self) -> usize {
+        OnlineGraphModel::documents(self)
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.clone()
+    }
+
+    fn restore(snapshot: Self::Snapshot, _ctx: ()) -> Self {
+        snapshot
+    }
+}
+
+impl IncrementalModel for OnlineTopicModel {
+    type Doc = TopicDoc;
+    type Snapshot = TopicProfile;
+    type RestoreCtx = Arc<TopicBackground>;
+
+    fn observe(&mut self, doc: &Self::Doc) {
+        OnlineTopicModel::observe(self, doc);
+    }
+
+    fn decay_step(&mut self) {
+        OnlineTopicModel::decay_step(self);
+    }
+
+    fn score(&mut self, doc: &Self::Doc) -> f64 {
+        OnlineTopicModel::score(self, doc)
+    }
+
+    fn documents(&self) -> usize {
+        OnlineTopicModel::documents(self)
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.profile().clone()
+    }
+
+    fn restore(snapshot: Self::Snapshot, ctx: Self::RestoreCtx) -> Self {
+        OnlineTopicModel::from_profile(snapshot, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_bag::{BagSimilarity, BagVectorizer, WeightingScheme};
+    use pmr_graph::GraphSimilarity;
+    use pmr_topics::OnlineTopicConfig;
+
+    fn grams(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    /// Drive any family through the shared life cycle and check the
+    /// snapshot round trip preserves scoring exactly.
+    fn roundtrip_preserves_scores<M: IncrementalModel>(
+        mut model: M,
+        observed: &[M::Doc],
+        probe: &M::Doc,
+        ctx: M::RestoreCtx,
+    ) {
+        for doc in observed {
+            model.observe(doc);
+        }
+        assert_eq!(model.documents(), observed.len());
+        let mut restored = M::restore(model.snapshot(), ctx);
+        assert_eq!(model.score(probe).to_bits(), restored.score(probe).to_bits());
+        assert_eq!(restored.documents(), observed.len());
+    }
+
+    #[test]
+    fn bag_round_trips_through_the_trait() {
+        let docs = [grams("cats purr softly"), grams("cats nap often")];
+        let vectorizer = BagVectorizer::fit(WeightingScheme::TF, docs.iter());
+        let model = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 0.9);
+        roundtrip_preserves_scores(model, &docs, &grams("cats purr"), ());
+    }
+
+    #[test]
+    fn graph_round_trips_through_the_trait() {
+        let docs = [grams("cats purr softly"), grams("rust code compiles")];
+        let model = OnlineGraphModel::new(GraphSimilarity::Value, 2);
+        roundtrip_preserves_scores(model, &docs, &grams("cats purr"), ());
+    }
+
+    #[test]
+    fn topic_round_trips_through_the_trait() {
+        let train: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 1, 5]];
+        let slices: Vec<&[u32]> = train.iter().map(Vec::as_slice).collect();
+        let cfg = OnlineTopicConfig::paper(2, 20, 3);
+        let bg = Arc::new(TopicBackground::train(&cfg, &slices, 6, 0));
+        let docs: Vec<TopicDoc> = train
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TopicDoc { key: i as u64, tokens: t.clone() })
+            .collect();
+        let model = OnlineTopicModel::new(Arc::clone(&bg), 1.0);
+        roundtrip_preserves_scores(model, &docs, &TopicDoc { key: 9, tokens: vec![0, 1] }, bg);
+    }
+
+    #[test]
+    fn graph_decay_step_is_a_noop() {
+        let mut model = OnlineGraphModel::new(GraphSimilarity::Value, 2);
+        IncrementalModel::observe(&mut model, &grams("cats purr softly"));
+        let before = IncrementalModel::score(&mut model, &grams("cats purr"));
+        IncrementalModel::decay_step(&mut model);
+        assert_eq!(
+            before.to_bits(),
+            IncrementalModel::score(&mut model, &grams("cats purr")).to_bits()
+        );
+    }
+
+    #[test]
+    fn bag_decay_step_matches_observe_prefix() {
+        // observe = decay_step + add: a lone decay_step must shrink the
+        // accumulated vector exactly like the decay half of observe.
+        let docs = [grams("cats purr softly")];
+        let vectorizer = BagVectorizer::fit(WeightingScheme::TF, docs.iter());
+        let mut a = OnlineBagModel::new(vectorizer.clone(), BagSimilarity::Cosine, 0.5);
+        let mut b = OnlineBagModel::new(vectorizer, BagSimilarity::Cosine, 0.5);
+        a.observe(&docs[0]);
+        b.observe(&docs[0]);
+        IncrementalModel::decay_step(&mut a);
+        // Cosine ignores scale, so compare the raw model vectors instead.
+        let scaled: Vec<(u32, f32)> =
+            b.model().entries().iter().map(|&(d, w)| (d, w * 0.5)).collect();
+        assert_eq!(a.model().entries(), scaled.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pmr_topics::OnlineTopicConfig;
+    use proptest::prelude::*;
+
+    /// Token-id documents over a small vocabulary.
+    fn arb_doc() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0u32..12, 1..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The topic counterpart of the bag≡centroid pin: with decay 1.0
+        /// and background epoch 0, the online topic model is the *sum* of
+        /// fold-in θs over the materialized corpus, the batch counterpart
+        /// folds every document in against the same epoch-0 background and
+        /// sums — so both must agree on every score (to float noise) and
+        /// on every candidate ranking.
+        #[test]
+        fn undecayed_online_topic_ranks_like_batch_fold_in(
+            train in proptest::collection::vec(arb_doc(), 1..8),
+            probes in proptest::collection::vec(arb_doc(), 2..6),
+        ) {
+            let slices: Vec<&[u32]> = train.iter().map(Vec::as_slice).collect();
+            let cfg = OnlineTopicConfig::paper(3, 15, 11);
+            let bg = Arc::new(TopicBackground::train(&cfg, &slices, 12, 0));
+
+            // Online: observe the stream in order with no forgetting.
+            let mut online = OnlineTopicModel::new(Arc::clone(&bg), 1.0);
+            for (i, doc) in train.iter().enumerate() {
+                IncrementalModel::observe(
+                    &mut online,
+                    &TopicDoc { key: i as u64, tokens: doc.clone() },
+                );
+            }
+
+            // Batch: fold every materialized document in against the same
+            // background and sum the θs.
+            let mut batch = TopicProfile::new(1.0, bg.topics());
+            for (i, doc) in train.iter().enumerate() {
+                batch.observe(&bg.fold_in(doc, i as u64));
+            }
+
+            let probe_docs: Vec<TopicDoc> = probes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| TopicDoc { key: 1_000 + i as u64, tokens: p.clone() })
+                .collect();
+            let online_scores: Vec<f64> =
+                probe_docs.iter().map(|p| IncrementalModel::score(&mut online, p)).collect();
+            let batch_scores: Vec<f64> =
+                probe_docs.iter().map(|p| batch.score(&bg.fold_in(&p.tokens, p.key))).collect();
+            for (o, b) in online_scores.iter().zip(&batch_scores) {
+                prop_assert!((o - b).abs() < 1e-9, "scores diverge: online {o}, batch {b}");
+            }
+            // Whenever batch separates two probes beyond float noise, the
+            // online model must order them identically.
+            for i in 0..probe_docs.len() {
+                for j in 0..probe_docs.len() {
+                    if batch_scores[i] > batch_scores[j] + 1e-9 {
+                        prop_assert!(
+                            online_scores[i] > online_scores[j],
+                            "ranking flip between probes {i} and {j}: \
+                             online ({}, {}) vs batch ({}, {})",
+                            online_scores[i], online_scores[j],
+                            batch_scores[i], batch_scores[j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -47,10 +47,17 @@ impl OnlineProfile {
         OnlineProfile { decay, accumulated: SparseVector::new(), documents: 0 }
     }
 
-    /// Fold one observed document's *unit-normalized* vector into the
-    /// profile.
-    pub fn observe_unit(&mut self, unit: &SparseVector) {
+    /// Apply one forgetting step without observing anything — the decay
+    /// half of [`Self::observe_unit`], exposed for the incremental-model
+    /// trait's `decay_step`.
+    pub fn decay_step(&mut self) {
         self.accumulated.scale(self.decay);
+    }
+
+    /// Fold one observed document's *unit-normalized* vector into the
+    /// profile: one decay step, then the new document at full weight.
+    pub fn observe_unit(&mut self, unit: &SparseVector) {
+        self.decay_step();
         self.accumulated.add_scaled(unit, 1.0);
         self.documents += 1;
     }
@@ -103,6 +110,11 @@ impl OnlineBagModel {
     pub fn score<S: AsRef<str>>(&self, grams: &[S]) -> f64 {
         let v = self.vectorizer.transform(grams).normalized();
         self.similarity.compare(self.profile.vector(), &v)
+    }
+
+    /// Apply one forgetting step without observing anything.
+    pub fn decay_step(&mut self) {
+        self.profile.decay_step();
     }
 
     /// Number of observed documents.

@@ -10,14 +10,17 @@
 use pmr_bag::{BagSimilarity, WeightingScheme};
 use pmr_core::RetrievalMode;
 use pmr_graph::GraphSimilarity;
+use pmr_topics::OnlineTopicConfig;
 use serde::{Deserialize, Serialize};
 
 /// The online model family the engine maintains for every user.
 ///
-/// Mirrors the batch study's two incremental-friendly families (§3.2): the
-/// decayed bag centroid and the n-gram graph with its running-average
-/// update operator. Topic models are excluded — Labeled-LDA inference is
-/// not incremental and the paper found it dominated anyway.
+/// Mirrors the batch study's incremental-friendly families (§3.2): the
+/// decayed bag centroid, the n-gram graph with its running-average update
+/// operator, and — via [`pmr_topics::OnlineTopicModel`] — the topic family,
+/// serving new documents by deterministic fold-in Gibbs inference against a
+/// periodically retrained background model instead of refitting the full
+/// sampler per document.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ServeModel {
     /// Exponentially decayed centroid of unit document vectors
@@ -43,6 +46,29 @@ pub enum ServeModel {
         /// Gram order (also the graph's co-occurrence window).
         n: usize,
     },
+    /// Decayed per-user topic profile ([`pmr_topics::OnlineTopicModel`])
+    /// over fold-in θ distributions against a shared background LDA model,
+    /// scored with cosine. Always token unigrams — the topic vocabulary is
+    /// the corpus's token space.
+    Topic {
+        /// Number of latent topics.
+        topics: usize,
+        /// Symmetric document–topic prior.
+        alpha: f64,
+        /// Symmetric topic–word prior.
+        beta: f64,
+        /// Gibbs sweeps per background retrain.
+        train_iterations: usize,
+        /// Gibbs sweeps per served document's fold-in.
+        foldin_iterations: usize,
+        /// Master seed for training and fold-in seed derivation.
+        seed: u64,
+        /// History decay per observed document, in (0, 1].
+        decay: f32,
+        /// Retrain the background model every this many stream events on
+        /// the causal prefix (0 keeps the epoch-0 model forever).
+        background_refresh: u64,
+    },
 }
 
 impl ServeModel {
@@ -50,6 +76,7 @@ impl ServeModel {
     pub fn char_grams(self) -> bool {
         match self {
             ServeModel::Bag { char_grams, .. } | ServeModel::Graph { char_grams, .. } => char_grams,
+            ServeModel::Topic { .. } => false,
         }
     }
 
@@ -57,6 +84,7 @@ impl ServeModel {
     pub fn n(self) -> usize {
         match self {
             ServeModel::Bag { n, .. } | ServeModel::Graph { n, .. } => n,
+            ServeModel::Topic { .. } => 1,
         }
     }
 
@@ -65,6 +93,36 @@ impl ServeModel {
         match self {
             ServeModel::Bag { .. } => "bag",
             ServeModel::Graph { .. } => "graph",
+            ServeModel::Topic { .. } => "topic",
+        }
+    }
+
+    /// The topic family's `(sampler config, profile decay, refresh cadence)`
+    /// — `None` for the gram families.
+    pub fn online_topic(self) -> Option<(OnlineTopicConfig, f32, u64)> {
+        match self {
+            ServeModel::Topic {
+                topics,
+                alpha,
+                beta,
+                train_iterations,
+                foldin_iterations,
+                seed,
+                decay,
+                background_refresh,
+            } => Some((
+                OnlineTopicConfig {
+                    topics,
+                    alpha,
+                    beta,
+                    train_iterations,
+                    foldin_iterations,
+                    seed,
+                },
+                decay,
+                background_refresh,
+            )),
+            _ => None,
         }
     }
 }
@@ -194,12 +252,50 @@ mod tests {
                 },
                 window: 64,
             },
+            EngineConfig {
+                model: ServeModel::Topic {
+                    topics: 16,
+                    alpha: 50.0 / 16.0,
+                    beta: 0.01,
+                    train_iterations: 50,
+                    foldin_iterations: 8,
+                    seed: 7,
+                    decay: 0.99,
+                    background_refresh: 500,
+                },
+                window: 64,
+            },
         ];
         for config in configs {
             let json = serde_json::to_string(&config).expect("serializes");
             let back: EngineConfig = serde_json::from_str(&json).expect("parses");
             assert_eq!(back, config);
         }
+    }
+
+    #[test]
+    fn topic_models_fix_token_unigrams() {
+        let model = ServeModel::Topic {
+            topics: 8,
+            alpha: 6.25,
+            beta: 0.01,
+            train_iterations: 10,
+            foldin_iterations: 4,
+            seed: 3,
+            decay: 0.9,
+            background_refresh: 100,
+        };
+        assert!(!model.char_grams(), "topic features are token grams by construction");
+        assert_eq!(model.n(), 1);
+        assert_eq!(model.name(), "topic");
+        let (cfg, decay, refresh) = model.online_topic().expect("topic variant yields a config");
+        assert_eq!(cfg.topics, 8);
+        assert_eq!(cfg.foldin_iterations, 4);
+        assert_eq!(decay, 0.9);
+        assert_eq!(refresh, 100);
+        assert!(ServeModel::Graph { similarity: GraphSimilarity::Value, char_grams: true, n: 3 }
+            .online_topic()
+            .is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use crossbeam::channel::{self, Receiver};
 use pmr_core::{PmrError, PmrResult};
 use pmr_sim::{Timestamp, TweetId, UserId};
+use pmr_topics::TopicBackground;
 
 use crate::config::{EngineConfig, RuntimeOptions, Scheduler};
 use crate::runtime::ShardRuntime;
@@ -40,6 +41,11 @@ pub struct Engine {
     /// Set when a shard worker dies mid-stream (its [`ShardReply::Aborted`]
     /// or a rejected post); fails the next snapshot barrier.
     aborted: Option<String>,
+    /// The topic-background epoch last broadcast via
+    /// [`Engine::set_background`]; recorded in snapshot headers so the
+    /// resuming side can re-derive the same background. Stays 0 for the
+    /// gram families.
+    epoch: u64,
 }
 
 impl Engine {
@@ -71,7 +77,12 @@ impl Engine {
             .iter()
             .map(|u| (UserId(u.user), UserState::restore(u, resolve)))
             .collect();
-        Ok(Engine::spawn(snapshot.header.config, runtime, restored, snapshot.header.queries))
+        let mut engine =
+            Engine::spawn(snapshot.header.config, runtime, restored, snapshot.header.queries);
+        // The header's epoch survives the round trip even before the driver
+        // re-broadcasts the background (which also re-sets it).
+        engine.epoch = snapshot.header.epoch;
+        Ok(engine)
     }
 
     fn spawn(
@@ -105,6 +116,19 @@ impl Engine {
             answered: BTreeMap::new(),
             newly_answered: Vec::new(),
             aborted: None,
+            epoch: 0,
+        }
+    }
+
+    /// Broadcast a (re)trained topic background to every shard and record
+    /// its epoch for snapshot headers. Called by the driver at fixed stream
+    /// positions (before the first event, then on the refresh cadence), so
+    /// the swap lands at the same point of every shard's FIFO sequence
+    /// regardless of layout.
+    pub fn set_background(&mut self, background: Arc<TopicBackground>) {
+        self.epoch = background.epoch();
+        for shard in 0..self.runtime.shards() {
+            self.post(shard, ShardMsg::Epoch(Arc::clone(&background)));
         }
     }
 
@@ -268,6 +292,7 @@ impl Engine {
                 config: self.config,
                 events,
                 queries: self.next_query,
+                epoch: self.epoch,
                 users: users.len() as u64,
             },
             users,

@@ -22,10 +22,17 @@
 //!   `query_every` events the next evaluated user (round-robin) is asked
 //!   for their top-k.
 //!
-//! **Model restriction.** Only [`ServeModel::Graph`] is streamable: bag
-//! models need an [`pmr_bag::IndexedVectorizer`] fitted on the *whole*
-//! corpus vocabulary, which contradicts single-pass constant-memory
-//! ingest. [`ingest_stream`] rejects bag configs with a clear error.
+//! **Model restrictions.** Graph models and TF/BF bag models are
+//! streamable. A TF/BF bag vector depends only on the document itself plus
+//! a *dimension id space*, and the id space can be grown incrementally:
+//! [`StreamBagVectorizer`] interns unknown grams in first-seen stream
+//! order over original tweets, which reproduces — prefix by prefix — the
+//! exact local ids [`pmr_bag::IndexedVectorizer::fit`] assigns over the
+//! materialized corpus (original tweet ids are allocated in stream order,
+//! so first-seen-in-stream *is* first-seen-in-id-order). Two families stay
+//! rejected with typed errors: **TF-IDF** needs corpus-wide document
+//! frequencies a single pass cannot know, and **topic** needs the
+//! materialized corpus to bootstrap its epoch-0 background model.
 //!
 //! **Featurization difference vs. replay.** Replay's token grams pass
 //! through the corpus-fitted stop-word filter
@@ -33,14 +40,16 @@
 //! fit that filter on, so token grams here are built from the unfiltered
 //! token stream. Char grams (`char_grams: true`) are computed identically
 //! in both paths — lower-cased raw text — which is what the
-//! ingest-vs-replay equivalence test pins.
+//! ingest-vs-replay equivalence tests (graph *and* bag) pin.
 
 use std::sync::Arc;
 
+use pmr_bag::{SparseVector, WeightingScheme};
 use pmr_core::executor::run_tasks;
 use pmr_core::{PmrError, PmrResult};
 use pmr_sim::scale::IngestRecord;
 use pmr_sim::{StreamGenerator, UserId};
+use pmr_text::vocab::{TermId, Vocabulary};
 use pmr_text::{char_ngrams, token_ngrams, Tokenizer};
 
 use crate::config::{EngineConfig, RuntimeOptions, ServeModel};
@@ -93,16 +102,77 @@ pub struct IngestOutcome {
     pub queries: u64,
 }
 
-/// Gram features of one tweet text under a (graph) serving model.
-fn featurize(model: ServeModel, text: &str) -> TweetFeatures {
-    let grams = if model.char_grams() {
+/// Gram surface forms of one tweet text under a serving model's alphabet.
+fn extract_grams(model: ServeModel, text: &str) -> Vec<String> {
+    if model.char_grams() {
         char_ngrams(&text.to_lowercase(), model.n())
     } else {
         let tokens: Vec<String> =
             Tokenizer::default().tokenize(text).into_iter().map(|t| t.text).collect();
         token_ngrams(&tokens, model.n())
-    };
-    TweetFeatures::Graph(grams)
+    }
+}
+
+/// Single-pass TF/BF bag vectorizer over an incremental vocabulary.
+///
+/// Dimensions are interned in first-seen stream order over *original*
+/// tweets — the same first-seen order [`pmr_bag::IndexedVectorizer::fit`]
+/// walks over the materialized corpus, because original tweet ids are
+/// allocated in stream order. Counting mirrors `IndexedVectorizer`'s
+/// sort-and-run-length transform exactly, so every emitted vector is
+/// bit-identical to the replay path's (the equivalence test pins this).
+/// Retweets transform *without* growing the vocabulary: their grams come
+/// from the carried origin text, whose original has already been interned.
+struct StreamBagVectorizer {
+    weighting: WeightingScheme,
+    vocab: Vocabulary,
+}
+
+impl StreamBagVectorizer {
+    fn new(weighting: WeightingScheme) -> Self {
+        StreamBagVectorizer { weighting, vocab: Vocabulary::new() }
+    }
+
+    /// Intern an original document's grams (unknown grams are appended in
+    /// first-seen order), then transform it.
+    fn observe_original(&mut self, grams: &[String]) -> SparseVector {
+        let ids: Vec<TermId> = grams.iter().map(|g| self.vocab.intern(g)).collect();
+        self.weigh(ids, grams.len())
+    }
+
+    /// Transform without growing the vocabulary; grams outside it are
+    /// dropped, exactly as a fitted vectorizer drops unseen grams.
+    fn transform(&self, grams: &[String]) -> SparseVector {
+        let ids: Vec<TermId> = grams.iter().filter_map(|g| self.vocab.get(g)).collect();
+        self.weigh(ids, grams.len())
+    }
+
+    /// The sort + run-length counting of `IndexedVectorizer::transform`,
+    /// kept structurally identical so the f32 weights match bitwise.
+    fn weigh(&self, mut ids: Vec<TermId>, n_d: usize) -> SparseVector {
+        if n_d == 0 {
+            return SparseVector::new();
+        }
+        ids.sort_unstable();
+        let mut pairs: Vec<(TermId, f32)> = Vec::with_capacity(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            let id = ids[i];
+            let mut f = 0u32;
+            while i < ids.len() && ids[i] == id {
+                f += 1;
+                i += 1;
+            }
+            let w = match self.weighting {
+                WeightingScheme::BF => 1.0,
+                WeightingScheme::TF => f as f32 / n_d as f32,
+                // Rejected before ingest starts; unreachable.
+                WeightingScheme::TFIDF => 0.0,
+            };
+            pairs.push((id, w));
+        }
+        SparseVector::from_pairs(pairs)
+    }
 }
 
 /// Drive `gen`'s full event stream through a fresh engine and collect the
@@ -110,12 +180,22 @@ fn featurize(model: ServeModel, text: &str) -> TweetFeatures {
 /// [`EngineConfig`]; `jobs`, `shards` and `queue_capacity` are mechanical.
 pub fn ingest_stream(gen: &StreamGenerator, options: IngestOptions) -> PmrResult<IngestOutcome> {
     let model = options.config.model;
-    if matches!(model, ServeModel::Bag { .. }) {
+    if matches!(model, ServeModel::Bag { weighting: WeightingScheme::TFIDF, .. }) {
         return Err(PmrError::invariant(
-            "streaming ingest supports graph models only: bag models need a vectorizer \
-             fitted on the full corpus vocabulary, which a single-pass stream cannot provide",
+            "streaming ingest cannot serve TF-IDF bag models: inverse document frequencies \
+             need the full corpus, which a single-pass stream cannot provide",
         ));
     }
+    if matches!(model, ServeModel::Topic { .. }) {
+        return Err(PmrError::invariant(
+            "streaming ingest cannot serve topic models: the epoch-0 background model is \
+             trained on the materialized corpus, which a single-pass stream cannot provide",
+        ));
+    }
+    let mut bag = match model {
+        ServeModel::Bag { weighting, .. } => Some(StreamBagVectorizer::new(weighting)),
+        _ => None,
+    };
     let followers = gen.build_followers();
     let eval_users: Vec<UserId> = gen.evaluated_user_ids().collect();
     let jobs = options.jobs.max(1);
@@ -127,21 +207,37 @@ pub fn ingest_stream(gen: &StreamGenerator, options: IngestOptions) -> PmrResult
     while window_start < num_chunks {
         let window: Vec<usize> = (window_start..(window_start + jobs).min(num_chunks)).collect();
         window_start += window.len();
-        // Render + featurize this window in parallel; results come back in
-        // chunk order, so consumption below is the global stream order.
-        let rendered: Vec<Vec<(IngestRecord, Arc<TweetFeatures>)>> =
+        // Render + gram-extract this window in parallel; results come back
+        // in chunk order, so consumption below is the global stream order.
+        // Bag vectorization happens in the sequential loop below, not
+        // here: the incremental vocabulary's first-seen id assignment is
+        // order-dependent, so it must only ever see the global stream.
+        let rendered: Vec<Vec<(IngestRecord, Vec<String>)>> =
             run_tasks(window, jobs, |_, chunk| {
                 gen.render_chunk(chunk)
                     .into_iter()
                     .map(|rec| {
                         let text = rec.origin_text.as_deref().unwrap_or(&rec.text);
-                        let features = Arc::new(featurize(model, text));
-                        (rec, features)
+                        let grams = extract_grams(model, text);
+                        (rec, grams)
                     })
                     .collect()
             });
-        for (rec, features) in rendered.into_iter().flatten() {
+        for (rec, grams) in rendered.into_iter().flatten() {
             let event = rec.event;
+            let features = Arc::new(match &mut bag {
+                Some(vectorizer) => {
+                    // A retweet's grams are its *original's* (carried
+                    // origin text), already interned when the original
+                    // streamed by — transform must not grow the space.
+                    let vector = match event.retweet_of {
+                        None => vectorizer.observe_original(&grams),
+                        Some(_) => vectorizer.transform(&grams),
+                    };
+                    TweetFeatures::Bag(vector.normalized())
+                }
+                None => TweetFeatures::Graph(grams),
+            });
             pmr_obs::counter_add("serve.events", 1);
             match event.retweet_of {
                 None => {
@@ -199,26 +295,112 @@ mod tests {
     }
 
     fn run(gen: &StreamGenerator, options: IngestOptions) -> IngestOutcome {
-        ingest_stream(gen, options).expect("graph model ingest succeeds")
+        ingest_stream(gen, options).expect("streamable model ingest succeeds")
+    }
+
+    fn bag_config(weighting: WeightingScheme) -> EngineConfig {
+        EngineConfig {
+            model: ServeModel::Bag {
+                weighting,
+                similarity: pmr_bag::BagSimilarity::Cosine,
+                char_grams: true,
+                n: 3,
+                decay: 0.9,
+            },
+            window: 64,
+        }
     }
 
     #[test]
-    fn bag_models_are_rejected() {
+    fn tfidf_and_topic_models_are_rejected() {
         let gen = smoke_gen(1);
-        let options = IngestOptions {
+        let tfidf = IngestOptions {
+            config: bag_config(WeightingScheme::TFIDF),
+            ..IngestOptions::default()
+        };
+        assert!(ingest_stream(&gen, tfidf).is_err(), "TF-IDF needs corpus document frequencies");
+        let topic = IngestOptions {
             config: EngineConfig {
-                model: ServeModel::Bag {
-                    weighting: pmr_bag::WeightingScheme::TF,
-                    similarity: pmr_bag::BagSimilarity::Cosine,
-                    char_grams: false,
-                    n: 1,
+                model: ServeModel::Topic {
+                    topics: 4,
+                    alpha: 12.5,
+                    beta: 0.01,
+                    train_iterations: 5,
+                    foldin_iterations: 2,
+                    seed: 1,
                     decay: 1.0,
+                    background_refresh: 0,
                 },
                 window: 64,
             },
             ..IngestOptions::default()
         };
-        assert!(ingest_stream(&gen, options).is_err());
+        assert!(ingest_stream(&gen, topic).is_err(), "topic needs the materialized corpus");
+    }
+
+    #[test]
+    fn bag_ingest_agrees_with_replay_on_the_materialized_corpus() {
+        // Char grams + TF: the streamed incremental vocabulary must
+        // reproduce the replay path's `IndexedVectorizer` vectors
+        // bit-for-bit — same first-seen dimension ids (originals stream in
+        // id order), same sort-and-run-length counting. Token grams differ
+        // by the corpus-fitted stop filter, so char grams are what the
+        // byte-equality pin uses, mirroring the graph test below.
+        let gen = smoke_gen(42);
+        let config = bag_config(WeightingScheme::TF);
+        let k = 10;
+        let query_every = 25;
+        let streamed = run(
+            &gen,
+            IngestOptions { config, k, query_every, jobs: 2, ..IngestOptions::default() },
+        );
+        let prepared = PreparedCorpus::new(gen.materialize(), SplitConfig::default())
+            .expect("materialized corpus is well-formed");
+        let replayed = Replay::run(
+            &prepared,
+            ReplayOptions { config, runtime: RuntimeOptions::default(), k, query_every, jobs: 1 },
+        );
+        assert_eq!(streamed.events, replayed.events);
+        assert_eq!(streamed.queries, replayed.queries);
+        assert!(streamed.queries > 0);
+        assert_eq!(
+            rec_log(&streamed.recommendations).unwrap(),
+            rec_log(&replayed.recommendations).unwrap()
+        );
+    }
+
+    #[test]
+    fn bag_shard_layout_never_changes_the_recommendation_log() {
+        let gen = smoke_gen(9);
+        let base = IngestOptions {
+            config: bag_config(WeightingScheme::BF),
+            jobs: 2,
+            ..IngestOptions::default()
+        };
+        let one = run(
+            &gen,
+            IngestOptions {
+                runtime: RuntimeOptions {
+                    shards: 1,
+                    queue_capacity: 64,
+                    ..RuntimeOptions::default()
+                },
+                ..base
+            },
+        );
+        let four = run(
+            &gen,
+            IngestOptions {
+                runtime: RuntimeOptions {
+                    shards: 4,
+                    queue_capacity: 64,
+                    ..RuntimeOptions::default()
+                },
+                ..base
+            },
+        );
+        assert!(one.queries > 0);
+        assert_eq!(rec_log(&one.recommendations).unwrap(), rec_log(&four.recommendations).unwrap());
     }
 
     #[test]

@@ -28,6 +28,8 @@ use pmr_bag::IndexedVectorizer;
 use pmr_core::executor::run_tasks;
 use pmr_core::{GramKind, PmrError, PmrResult, PreparedCorpus};
 use pmr_sim::{StreamEvent, TweetId, UserId};
+use pmr_text::vocab::TermId;
+use pmr_topics::{TopicBackground, TopicDoc};
 
 use crate::config::{EngineConfig, RuntimeOptions, ServeModel};
 use crate::engine::Engine;
@@ -107,12 +109,32 @@ pub fn precompute_features(
             let grams: Vec<String> = table.doc_terms(id).into_iter().map(str::to_owned).collect();
             Arc::new(TweetFeatures::Graph(grams))
         }),
+        // Token unigram ids over the table's corpus-wide vocabulary; the
+        // tweet id doubles as the fold-in seed key.
+        ServeModel::Topic { .. } => run_tasks(originals.clone(), jobs, |_, id| {
+            Arc::new(TweetFeatures::Topic(TopicDoc {
+                key: id.0 as u64,
+                tokens: table.doc(id).to_vec(),
+            }))
+        }),
     };
     let mut features: Vec<Option<Arc<TweetFeatures>>> = vec![None; prepared.corpus.tweets.len()];
     for (id, f) in originals.into_iter().zip(computed) {
         features[id.index()] = Some(f);
     }
     features
+}
+
+/// The corpus-wide token-unigram vocabulary the topic background trains
+/// over (0 for the gram families). Epoch-stable: the table is fitted on
+/// the whole corpus, so retrains only change which *documents* are seen,
+/// never the id space.
+fn topic_vocab(prepared: &PreparedCorpus, model: ServeModel) -> usize {
+    if model.online_topic().is_some() {
+        prepared.gram_table(GramKind::Token, 1).vocab_len()
+    } else {
+        0
+    }
 }
 
 /// A replay in progress: the engine plus the event cursor, pausable at any
@@ -125,6 +147,12 @@ pub struct Replay<'a> {
     options: ReplayOptions,
     engine: Engine,
     position: usize,
+    /// The topic vocabulary size (0 for the gram families): the token
+    /// unigram table's corpus-wide vocabulary, stable across epochs.
+    topic_vocab: usize,
+    /// The topic-background epoch currently broadcast (0 for the gram
+    /// families, which never retrain anything).
+    epoch: u64,
 }
 
 impl<'a> Replay<'a> {
@@ -132,7 +160,8 @@ impl<'a> Replay<'a> {
     pub fn new(prepared: &'a PreparedCorpus, options: ReplayOptions) -> Replay<'a> {
         let features = precompute_features(prepared, options.config.model, options.jobs);
         let engine = Engine::start(options.config, options.runtime);
-        Replay {
+        let mut replay = Replay {
+            topic_vocab: topic_vocab(prepared, options.config.model),
             prepared,
             features,
             stream: prepared.corpus.event_stream(),
@@ -140,7 +169,16 @@ impl<'a> Replay<'a> {
             options,
             engine,
             position: 0,
+            epoch: 0,
+        };
+        // Topic bootstrap (epoch 0): train on all materialized originals —
+        // the oracle background the batch-equivalence pin compares against
+        // — and broadcast it before the first event, so every shard's FIFO
+        // starts with the same epoch boundary.
+        if let Some(background) = replay.train_background(0) {
+            replay.engine.set_background(background);
         }
+        replay
     }
 
     /// Precompute features and resume an engine from `snapshot`, at the
@@ -164,7 +202,8 @@ impl<'a> Replay<'a> {
                 |id: TweetId| features.get(id.index()).and_then(|f| f.as_ref().map(Arc::clone));
             Engine::resume(snapshot, options.runtime, &resolve)?
         };
-        Ok(Replay {
+        let mut replay = Replay {
+            topic_vocab: topic_vocab(prepared, options.config.model),
             prepared,
             features,
             stream: prepared.corpus.event_stream(),
@@ -172,7 +211,15 @@ impl<'a> Replay<'a> {
             options,
             engine,
             position: snapshot.header.events as usize,
-        })
+            epoch: snapshot.header.epoch,
+        };
+        // Re-derive the snapshot's background: it is a pure function of
+        // (corpus, config, epoch), so training it again — under any shard
+        // layout — reproduces the exact φ the paused engine was serving.
+        if let Some(background) = replay.train_background(snapshot.header.epoch) {
+            replay.engine.set_background(background);
+        }
+        Ok(replay)
     }
 
     /// Total number of stream events.
@@ -195,11 +242,62 @@ impl<'a> Replay<'a> {
         }
     }
 
+    /// Retrain the topic background for `epoch` — `None` for the gram
+    /// families. Epoch 0 trains on every materialized original (the
+    /// bootstrap oracle); epoch `e ≥ 1` trains on the causal prefix: the
+    /// originals whose events appear in `stream[..e·refresh]`, in stream
+    /// order. Both are pure functions of `(corpus, config, epoch)`, which
+    /// is what lets snapshots carry only the epoch number.
+    fn train_background(&self, epoch: u64) -> Option<Arc<TopicBackground>> {
+        let (cfg, _, refresh) = self.options.config.model.online_topic()?;
+        fn topic_tokens(f: Option<&TweetFeatures>) -> Option<&[TermId]> {
+            match f {
+                Some(TweetFeatures::Topic(doc)) => Some(doc.tokens.as_slice()),
+                _ => None,
+            }
+        }
+        let docs: Vec<&[TermId]> = if epoch == 0 {
+            self.features.iter().filter_map(|f| topic_tokens(f.as_deref())).collect()
+        } else {
+            let end = ((epoch * refresh) as usize).min(self.stream.len());
+            self.stream[..end]
+                .iter()
+                .filter(|e| e.retweet_of.is_none())
+                .filter_map(|e| topic_tokens(self.features[e.tweet.index()].as_deref()))
+                .collect()
+        };
+        pmr_obs::counter_add("serve.topic.background_refresh", 1);
+        Some(Arc::new(TopicBackground::train(&cfg, &docs, self.topic_vocab, epoch)))
+    }
+
+    /// Swap in a freshly retrained background when the cursor crosses a
+    /// refresh boundary it hasn't trained for yet. Runs on the single
+    /// writer *before* the boundary event is posted, so the epoch lands at
+    /// the same FIFO position in every layout — and a run resumed exactly
+    /// at a boundary retrains here just like the uninterrupted run did.
+    fn maybe_refresh_background(&mut self) {
+        let Some((_, _, refresh)) = self.options.config.model.online_topic() else {
+            return;
+        };
+        if refresh == 0 || self.position == 0 || !(self.position as u64).is_multiple_of(refresh) {
+            return;
+        }
+        let target_epoch = self.position as u64 / refresh;
+        if target_epoch <= self.epoch {
+            return;
+        }
+        if let Some(background) = self.train_background(target_epoch) {
+            self.engine.set_background(background);
+            self.epoch = target_epoch;
+        }
+    }
+
     /// Ingest events until the cursor reaches `target` (clamped to the
     /// stream's end).
     pub fn run_to(&mut self, target: usize) {
         let target = target.min(self.stream.len());
         while self.position < target {
+            self.maybe_refresh_background();
             let event = self.stream[self.position];
             pmr_obs::counter_add("serve.events", 1);
             match event.retweet_of {

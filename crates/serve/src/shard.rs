@@ -20,6 +20,7 @@ use pmr_bag::{ScoringKernel, SparseVector};
 use pmr_core::{rank_cmp, OnlineGraphModel, OnlineProfile, RetrievalMode, WindowPostings};
 use pmr_sim::{Timestamp, TweetId, UserId};
 use pmr_text::vocab::TermId;
+use pmr_topics::{TopicBackground, TopicDoc, TopicProfile};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{EngineConfig, ServeModel};
@@ -33,6 +34,8 @@ pub enum TweetFeatures {
     Bag(SparseVector),
     /// Gram surface forms for the graph models.
     Graph(Vec<String>),
+    /// Token ids plus the fold-in seed key for the topic family.
+    Topic(TopicDoc),
 }
 
 /// One scored tweet in a recommendation.
@@ -71,6 +74,12 @@ pub(crate) enum ShardMsg {
     Observe { user: UserId, features: Arc<TweetFeatures> },
     /// Score `user`'s candidate window as of `now` and reply.
     Query { id: u64, user: UserId, k: usize, now: Timestamp },
+    /// Swap in a (re)trained topic background. Posted by the single writer
+    /// to every shard's FIFO at a fixed stream position, so each shard sees
+    /// the epoch boundary at the same point of its message sequence no
+    /// matter the layout — the same argument that covers every other
+    /// message.
+    Epoch(Arc<TopicBackground>),
     /// Emit the shard's full state; processing continues afterwards.
     Snapshot,
     /// Test-only: make the worker panic, exercising the abort protocol.
@@ -96,11 +105,15 @@ pub(crate) enum ShardReply {
     },
 }
 
-/// The per-user online model, matching the engine's [`ServeModel`].
+/// The per-user online model, matching the engine's [`ServeModel`]. The
+/// topic variant holds only the user's decayed θ accumulator — the shared
+/// background lives once per shard ([`ShardState::background`]), not per
+/// user.
 #[derive(Debug)]
 enum UserModel {
     Bag(OnlineProfile),
     Graph(Box<OnlineGraphModel>),
+    Topic(TopicProfile),
 }
 
 /// One remembered feed tweet.
@@ -121,6 +134,12 @@ struct WindowEntry {
 enum WindowIndex {
     Bag(WindowPostings<TermId>),
     Graph(WindowPostings<String>),
+    /// The topic family keeps no postings: a candidate sharing no token
+    /// with the profile still folds to a θ with non-zero cosine (θ is
+    /// smoothed by α, and an empty doc folds to uniform), so zero-filling
+    /// unmatched candidates would *change* scores. Topic queries always
+    /// score the window exhaustively.
+    Topic,
 }
 
 impl WindowIndex {
@@ -128,6 +147,7 @@ impl WindowIndex {
         match model {
             UserModel::Bag(_) => WindowIndex::Bag(WindowPostings::new()),
             UserModel::Graph(_) => WindowIndex::Graph(WindowPostings::new()),
+            UserModel::Topic(_) => WindowIndex::Topic,
         }
     }
 
@@ -178,6 +198,9 @@ impl UserState {
             ServeModel::Graph { similarity, n, .. } => {
                 UserModel::Graph(Box::new(OnlineGraphModel::new(similarity, n)))
             }
+            ServeModel::Topic { topics, decay, .. } => {
+                UserModel::Topic(TopicProfile::new(decay, topics))
+            }
         };
         let index = WindowIndex::for_model(&model);
         UserState { model, window: VecDeque::new(), index }
@@ -192,6 +215,7 @@ impl UserState {
         let model = match &snapshot.model {
             UserModelSnapshot::Bag(profile) => UserModel::Bag(profile.clone()),
             UserModelSnapshot::Graph(graph) => UserModel::Graph(Box::new(graph.clone())),
+            UserModelSnapshot::Topic(profile) => UserModel::Topic(profile.clone()),
         };
         let window: VecDeque<WindowEntry> = snapshot
             .window
@@ -214,6 +238,7 @@ impl UserState {
         let model = match &self.model {
             UserModel::Bag(profile) => UserModelSnapshot::Bag(profile.clone()),
             UserModel::Graph(graph) => UserModelSnapshot::Graph((**graph).clone()),
+            UserModel::Topic(profile) => UserModelSnapshot::Topic(profile.clone()),
         };
         let window = self
             .window
@@ -229,6 +254,12 @@ impl UserState {
 /// thread and no channel — the scheduling half ([`crate::runtime`]) decides
 /// which OS thread applies the shard's FIFO, and collects the replies
 /// `apply` pushes.
+/// Cleared-on-overflow capacity of the per-shard θ memo. Purely
+/// mechanical: a hit and a recompute yield identical bytes (fold-in is a
+/// pure function), so the cap — and the different hit patterns different
+/// layouts produce — can never change an output.
+const THETA_CACHE_CAP: usize = 8192;
+
 pub(crate) struct ShardState {
     shard: usize,
     config: EngineConfig,
@@ -236,6 +267,14 @@ pub(crate) struct ShardState {
     /// both settings produce byte-identical recommendations.
     retrieval: RetrievalMode,
     users: BTreeMap<UserId, UserState>,
+    /// The topic family's shared background model, swapped by
+    /// [`ShardMsg::Epoch`]. `None` for the gram families (and before the
+    /// writer's initial epoch broadcast).
+    background: Option<Arc<TopicBackground>>,
+    /// Per-tweet fold-in memo under the current background, keyed by the
+    /// document's seed key. Cleared on every epoch swap (θ depends on φ)
+    /// and on overflow.
+    thetas: BTreeMap<u64, Arc<Vec<f32>>>,
 }
 
 impl ShardState {
@@ -245,7 +284,7 @@ impl ShardState {
         retrieval: RetrievalMode,
         users: BTreeMap<UserId, UserState>,
     ) -> ShardState {
-        ShardState { shard, config, retrieval, users }
+        ShardState { shard, config, retrieval, users, background: None, thetas: BTreeMap::new() }
     }
 
     /// Apply one message, pushing any replies. This is the *entire*
@@ -261,6 +300,12 @@ impl ShardState {
             ShardMsg::Query { id, user, k, now } => {
                 let rec = self.query(id, user, k, now);
                 replies.push(ShardReply::Recommendation(rec));
+            }
+            ShardMsg::Epoch(background) => {
+                // θs are functions of φ: a new background invalidates the
+                // memo wholesale.
+                self.thetas.clear();
+                self.background = Some(background);
             }
             ShardMsg::Snapshot => {
                 let users = self.users.iter().map(|(u, s)| s.snapshot(*u)).collect();
@@ -302,7 +347,44 @@ impl ShardState {
         }
     }
 
+    /// Fold-in θ for `doc` under the current background, memoized per seed
+    /// key. `None` when no background has been broadcast yet (gram-family
+    /// shards, or a topic doc arriving before the writer's initial epoch —
+    /// the latter is counted, not panicked on).
+    fn theta(&mut self, doc: &TopicDoc) -> Option<Arc<Vec<f32>>> {
+        let background = self.background.as_ref()?;
+        if let Some(theta) = self.thetas.get(&doc.key) {
+            return Some(Arc::clone(theta));
+        }
+        let sweeps =
+            self.config.model.online_topic().map_or(1, |(cfg, _, _)| cfg.foldin_iterations.max(1));
+        pmr_obs::counter_add("serve.topic.foldin_iters", sweeps as u64);
+        let theta = {
+            let _timer = pmr_obs::timer("topic.foldin");
+            Arc::new(background.fold_in(&doc.tokens, doc.key))
+        };
+        if self.thetas.len() >= THETA_CACHE_CAP {
+            self.thetas.clear();
+        }
+        self.thetas.insert(doc.key, Arc::clone(&theta));
+        Some(theta)
+    }
+
     fn observe(&mut self, user: UserId, features: &Arc<TweetFeatures>) {
+        // Topic first: θ computation borrows the shard-level memo, so it
+        // must run before the user-state borrow.
+        if let TweetFeatures::Topic(doc) = features.as_ref() {
+            let Some(theta) = self.theta(doc) else {
+                pmr_obs::counter_add("serve.model_feature_mismatch", 1);
+                return;
+            };
+            if let UserModel::Topic(profile) = &mut self.state(user).model {
+                profile.observe(&theta);
+            } else {
+                pmr_obs::counter_add("serve.model_feature_mismatch", 1);
+            }
+            return;
+        }
         let state = self.state(user);
         match (&mut state.model, features.as_ref()) {
             (UserModel::Bag(profile), TweetFeatures::Bag(unit)) => profile.observe_unit(unit),
@@ -315,12 +397,15 @@ impl ShardState {
 
     fn query(&mut self, id: u64, user: UserId, k: usize, now: Timestamp) -> Recommendation {
         let _timer = pmr_obs::timer("serve.query");
+        if matches!(self.config.model, ServeModel::Topic { .. }) {
+            return self.query_topic(id, user, k, now);
+        }
         let mut items: Vec<RecItem> = Vec::new();
         let mut scored = 0u64;
         let mut pruned = 0u64;
         let similarity = match self.config.model {
             ServeModel::Bag { similarity, .. } => Some(similarity),
-            ServeModel::Graph { .. } => None,
+            ServeModel::Graph { .. } | ServeModel::Topic { .. } => None,
         };
         let retrieval = self.retrieval;
         if let Some(state) = self.users.get_mut(&user) {
@@ -390,6 +475,8 @@ impl ShardState {
                         }
                     }
                 }
+                // Unreachable: topic queries dispatched to `query_topic`.
+                UserModel::Topic(_) => {}
             }
         }
         if retrieval == RetrievalMode::Wand {
@@ -399,6 +486,47 @@ impl ShardState {
         // Deterministic total order: the repo-wide top-k contract
         // ([`pmr_core::rank_cmp`]) — best score first, ties broken by
         // ascending tweet id, total even for NaN.
+        items.sort_by(|a, b| rank_cmp(a.score, &a.tweet, b.score, &b.tweet));
+        items.truncate(k);
+        Recommendation { query: id, user: user.0, now, items }
+    }
+
+    /// The topic query path: always exhaustive over the eligible window
+    /// (see [`WindowIndex::Topic`] for why gating cannot apply), with θs
+    /// served from the shard memo. Split from [`ShardState::query`] because
+    /// θ computation borrows shard-level state the gram paths never touch.
+    fn query_topic(&mut self, id: u64, user: UserId, k: usize, now: Timestamp) -> Recommendation {
+        let eligible: Vec<(u32, Arc<TweetFeatures>)> = self
+            .users
+            .get(&user)
+            .map(|state| {
+                state
+                    .window
+                    .iter()
+                    .filter(|e| e.at <= now)
+                    .map(|e| (e.tweet.0, Arc::clone(&e.features)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut thetas: Vec<(u32, Arc<Vec<f32>>)> = Vec::with_capacity(eligible.len());
+        for (tweet, features) in &eligible {
+            match features.as_ref() {
+                TweetFeatures::Topic(doc) => {
+                    if let Some(theta) = self.theta(doc) {
+                        thetas.push((*tweet, theta));
+                    }
+                }
+                _ => pmr_obs::counter_add("serve.model_feature_mismatch", 1),
+            }
+        }
+        let mut items: Vec<RecItem> = Vec::new();
+        if let Some(state) = self.users.get(&user) {
+            if let UserModel::Topic(profile) = &state.model {
+                for (tweet, theta) in &thetas {
+                    items.push(RecItem { tweet: *tweet, score: profile.score(theta) });
+                }
+            }
+        }
         items.sort_by(|a, b| rank_cmp(a.score, &a.tweet, b.score, &b.tweet));
         items.truncate(k);
         Recommendation { query: id, user: user.0, now, items }

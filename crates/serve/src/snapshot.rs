@@ -16,12 +16,14 @@
 
 use pmr_core::{OnlineGraphModel, OnlineProfile, PmrError, PmrResult};
 use pmr_sim::Timestamp;
+use pmr_topics::TopicProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::config::EngineConfig;
 
 /// Current snapshot format version; bumped on breaking layout changes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2 added the `epoch` header field and the topic user-model variant.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// First line of a snapshot: format version, semantic configuration and
 /// the replay position the snapshot was taken at.
@@ -35,6 +37,12 @@ pub struct SnapshotHeader {
     pub events: u64,
     /// Queries issued before the snapshot (= the next query id).
     pub queries: u64,
+    /// Topic-background epoch active at the snapshot (0 for the gram
+    /// families). The background model itself is *not* serialized: it is a
+    /// pure function of `(corpus, config, epoch)`, so the resuming side
+    /// re-derives it — snapshot bytes stay independent of when the last
+    /// retrain ran relative to the barrier.
+    pub epoch: u64,
     /// Number of user lines that follow.
     pub users: u64,
 }
@@ -46,6 +54,9 @@ pub enum UserModelSnapshot {
     Bag(OnlineProfile),
     /// Incremental n-gram graph.
     Graph(OnlineGraphModel),
+    /// Decayed topic profile (fold-in θ accumulator); the shared background
+    /// model is carried by the header's `epoch`, not per user.
+    Topic(TopicProfile),
 }
 
 /// One remembered feed tweet, by reference; features are recomputed on
@@ -155,6 +166,7 @@ mod tests {
                 },
                 events: 42,
                 queries: 7,
+                epoch: 0,
                 users: 1,
             },
             users: vec![UserSnapshot {
@@ -180,7 +192,7 @@ mod tests {
     fn version_and_truncation_are_rejected() {
         let snap = sample();
         let text = snap.to_jsonl().expect("serializes");
-        let future = text.replacen("\"version\":1", "\"version\":99", 1);
+        let future = text.replacen("\"version\":2", "\"version\":99", 1);
         assert!(EngineSnapshot::from_jsonl(&future).is_err(), "future version must be rejected");
         let truncated = text.lines().next().expect("header").to_owned();
         assert!(

@@ -56,6 +56,31 @@ fn graph_options() -> ReplayOptions {
     }
 }
 
+/// Small topic budget (K = 8, 12 training sweeps) so debug-mode test runs
+/// stay quick; `background_refresh: 0` keeps the epoch-0 background for the
+/// whole replay (the refresh cadence is pinned by the reshard suite).
+fn topic_options() -> ReplayOptions {
+    ReplayOptions {
+        config: EngineConfig {
+            model: ServeModel::Topic {
+                topics: 8,
+                alpha: 50.0 / 8.0,
+                beta: 0.01,
+                train_iterations: 12,
+                foldin_iterations: 4,
+                seed: 7,
+                decay: 0.95,
+                background_refresh: 0,
+            },
+            window: 16,
+        },
+        runtime: RuntimeOptions { shards: 1, queue_capacity: 64, ..RuntimeOptions::default() },
+        k: 5,
+        query_every: 25,
+        jobs: 1,
+    }
+}
+
 #[test]
 fn shard_count_does_not_change_bag_recommendations() {
     let prepared = prepared(42);
@@ -91,6 +116,26 @@ fn shard_count_does_not_change_graph_recommendations() {
         rec_log(&baseline.recommendations).expect("log serializes"),
         "graph scores must be bit-identical across shard layouts"
     );
+}
+
+#[test]
+fn shard_count_does_not_change_topic_recommendations() {
+    // Fold-in θ is a pure function of (background φ, doc, doc key), and the
+    // per-shard θ memo only caches those pure values — so cache hit/miss
+    // patterns that differ across layouts cannot reach the output bytes.
+    let prepared = prepared(53);
+    let mut options = topic_options();
+    let baseline = Replay::run(&prepared, options);
+    assert!(baseline.queries > 0, "the replay must actually issue queries");
+    for shards in [2, 4, 7] {
+        options.runtime = RuntimeOptions { shards, queue_capacity: 8, ..RuntimeOptions::default() };
+        let sharded = Replay::run(&prepared, options);
+        assert_eq!(
+            rec_log(&sharded.recommendations).expect("log serializes"),
+            rec_log(&baseline.recommendations).expect("log serializes"),
+            "{shards} shards must produce the byte-identical topic recommendation log"
+        );
+    }
 }
 
 #[test]
@@ -148,20 +193,26 @@ fn snapshot_restores_bit_identical_continuations() {
 
 #[test]
 fn snapshot_bytes_are_independent_of_shard_count() {
-    let prepared = prepared(46);
-    let mut options = graph_options();
-    let mut runs = Vec::new();
-    for shards in [1, 4] {
-        options.runtime =
-            RuntimeOptions { shards, queue_capacity: 16, ..RuntimeOptions::default() };
-        let mut replay = Replay::new(&prepared, options);
-        replay.run_to(replay.stream_len() / 3);
-        runs.push(
-            replay.snapshot().expect("all shards alive").to_jsonl().expect("snapshot serializes"),
-        );
-        let _ = replay.finish();
+    for (seed, options) in [(46, graph_options()), (54, topic_options())] {
+        let prepared = prepared(seed);
+        let mut options = options;
+        let mut runs = Vec::new();
+        for shards in [1, 4] {
+            options.runtime =
+                RuntimeOptions { shards, queue_capacity: 16, ..RuntimeOptions::default() };
+            let mut replay = Replay::new(&prepared, options);
+            replay.run_to(replay.stream_len() / 3);
+            runs.push(
+                replay
+                    .snapshot()
+                    .expect("all shards alive")
+                    .to_jsonl()
+                    .expect("snapshot serializes"),
+            );
+            let _ = replay.finish();
+        }
+        assert_eq!(runs[0], runs[1], "snapshots must not encode the shard layout");
     }
-    assert_eq!(runs[0], runs[1], "snapshots must not encode the shard layout");
 }
 
 #[test]
@@ -183,9 +234,11 @@ fn resume_rejects_mismatched_configs() {
 #[test]
 fn retrieval_mode_does_not_change_recommendations() {
     // The window index is mechanical: pruned-with-zero-fill must replicate
-    // exhaustive scoring byte-for-byte, for both model families, across
-    // shard layouts.
-    for (seed, options) in [(49, bag_options()), (50, graph_options())] {
+    // exhaustive scoring byte-for-byte, for every model family, across
+    // shard layouts. The topic family posts nothing to the window index
+    // (α-smoothed θ gives non-zero cosine even with zero shared tokens),
+    // so for it this pins that both modes fall back to exhaustive scoring.
+    for (seed, options) in [(49, bag_options()), (50, graph_options()), (56, topic_options())] {
         let prepared = prepared(seed);
         let mut options = options;
         options.runtime.retrieval = RetrievalMode::Exhaustive;
@@ -213,7 +266,7 @@ fn scheduler_and_worker_count_do_not_change_recommendations() {
     // The work-stealing runtime multiplexes logical shards over arbitrary
     // worker counts; the thread-per-shard baseline pins one thread per
     // shard. All of it is mechanical: same shards, same bytes.
-    for (seed, options) in [(51, bag_options()), (52, graph_options())] {
+    for (seed, options) in [(51, bag_options()), (52, graph_options()), (55, topic_options())] {
         let prepared = prepared(seed);
         let mut options = options;
         options.runtime = RuntimeOptions {

@@ -71,6 +71,31 @@ fn graph_options() -> ReplayOptions {
     }
 }
 
+/// Small topic budget so debug-mode runs stay quick; `background_refresh: 0`
+/// keeps the epoch-0 background for the whole replay. The refresh cadence
+/// itself is pinned by [`mid_refresh_topic_reshard_is_byte_identical`].
+fn topic_options() -> ReplayOptions {
+    ReplayOptions {
+        config: EngineConfig {
+            model: ServeModel::Topic {
+                topics: 8,
+                alpha: 50.0 / 8.0,
+                beta: 0.01,
+                train_iterations: 12,
+                foldin_iterations: 4,
+                seed: 7,
+                decay: 0.95,
+                background_refresh: 0,
+            },
+            window: 16,
+        },
+        runtime: source_runtime(),
+        k: 5,
+        query_every: 25,
+        jobs: 1,
+    }
+}
+
 /// The stream position just *after* the widest fan-out event — mid-storm:
 /// the celebrity's exposures are still in flight through their followers'
 /// windows when the snapshot barrier lands.
@@ -135,10 +160,10 @@ fn restore_and_diff(
 }
 
 /// The headline matrix: snapshot under 4 logical shards, restore under
-/// 1/16/64 logical shards × 1/4 workers, for both model families.
+/// 1/16/64 logical shards × 1/4 workers, for every model family.
 #[test]
-fn reshard_matrix_is_byte_identical_for_both_families() {
-    for (seed, options) in [(60, bag_options()), (61, graph_options())] {
+fn reshard_matrix_is_byte_identical_for_every_family() {
+    for (seed, options) in [(60, bag_options()), (61, graph_options()), (65, topic_options())] {
         let prepared = prepared(seed);
         let pause = prepared.corpus.event_stream().len() / 2;
         let (reference_log, head, wire) = snapshot_at(&prepared, options, pause);
@@ -195,7 +220,7 @@ fn reshard_across_schedulers_is_byte_identical() {
 /// fan-out, while the storm's exposures dominate the candidate windows,
 /// and reshard in both directions (shrink and grow).
 #[test]
-fn mid_storm_reshard_is_byte_identical_for_both_families() {
+fn mid_storm_reshard_is_byte_identical_for_both_gram_families() {
     for (seed, options) in [(63, bag_options()), (64, graph_options())] {
         let prepared = prepared(seed);
         let pause = mid_storm_position(&prepared);
@@ -216,6 +241,51 @@ fn mid_storm_reshard_is_byte_identical_for_both_families() {
                 &wire,
                 &reference_log,
                 &format!("mid-storm 4 shards -> {shards} shards x {workers} workers"),
+            );
+        }
+    }
+}
+
+/// The topic family's extra wrinkle: the background model retrains on a
+/// fixed stream cadence, and a snapshot can land *between* retrains (or
+/// exactly on a boundary). The snapshot carries only the epoch number —
+/// the restoring side re-derives the background from `(corpus, config,
+/// epoch)` and must then hit every later refresh boundary exactly as the
+/// uninterrupted run did, under a different shard layout.
+#[test]
+fn mid_refresh_topic_reshard_is_byte_identical() {
+    let refresh = 400u64;
+    let mut options = topic_options();
+    match &mut options.config.model {
+        ServeModel::Topic { background_refresh, .. } => *background_refresh = refresh,
+        other => panic!("topic_options must build a topic model, got {other:?}"),
+    }
+    let prepared = prepared(66);
+    let stream_len = prepared.corpus.event_stream().len();
+    assert!(
+        stream_len as u64 > 2 * refresh,
+        "the smoke stream ({stream_len} events) must cross at least two refresh boundaries"
+    );
+    // Pause once mid-epoch (between the first and second retrain) and once
+    // exactly on a refresh boundary (the retrain fires on the resumed side).
+    for pause in [refresh as usize + refresh as usize / 2, 2 * refresh as usize] {
+        let (reference_log, head, wire) = snapshot_at(&prepared, options, pause);
+        for (shards, workers) in [(1usize, 1usize), (16, 4)] {
+            let runtime = RuntimeOptions {
+                shards,
+                workers,
+                queue_capacity: 16,
+                scheduler: Scheduler::WorkSteal,
+                ..RuntimeOptions::default()
+            };
+            restore_and_diff(
+                &prepared,
+                options,
+                runtime,
+                &head,
+                &wire,
+                &reference_log,
+                &format!("mid-refresh pause@{pause} -> {shards} shards x {workers} workers"),
             );
         }
     }

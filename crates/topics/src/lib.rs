@@ -40,6 +40,7 @@ pub mod label;
 pub mod lda;
 pub mod llda;
 pub mod model;
+pub mod online;
 pub mod plsa;
 pub mod pooling;
 
@@ -54,5 +55,6 @@ pub use label::{LabelId, Labeler};
 pub use lda::{LdaConfig, LdaModel};
 pub use llda::{LldaConfig, LldaModel};
 pub use model::TopicModel;
+pub use online::{OnlineTopicConfig, OnlineTopicModel, TopicBackground, TopicDoc, TopicProfile};
 pub use plsa::{PlsaConfig, PlsaModel};
 pub use pooling::PoolingScheme;
